@@ -1,0 +1,157 @@
+//! Arbitration and metastability (paper §4.1: "special functions such as
+//! arbiters and synchronizers" that current programmable systems lack).
+//!
+//! The kernel's `Mutex` component resolves ties deterministically; this
+//! module layers the *physics* on top: a mutual-exclusion element entered
+//! by two requests Δt apart resolves in a time that grows as the requests
+//! get closer,
+//!
+//! ```text
+//! t_res ≈ τ · ln(T_w / Δt)        (Δt < T_w)
+//! ```
+//!
+//! and a synchronizer's mean time between failures follows
+//!
+//! ```text
+//! MTBF = e^(t_r/τ) / (T_w · f_clk · f_data)
+//! ```
+//!
+//! Both formulas are implemented so the GALS study can budget its
+//! synchronizer depth, plus a stochastic coin for exact ties.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Metastability parameters of an arbiter / synchronizer flop.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetastabilityModel {
+    /// Regeneration time constant τ (ps).
+    pub tau_ps: f64,
+    /// Aperture / susceptibility window T_w (ps).
+    pub window_ps: f64,
+    /// Nominal (far-apart) resolution delay (ps).
+    pub nominal_ps: f64,
+}
+
+impl Default for MetastabilityModel {
+    fn default() -> Self {
+        // Plausible values for the paper's 10 nm DG devices.
+        MetastabilityModel { tau_ps: 8.0, window_ps: 20.0, nominal_ps: 25.0 }
+    }
+}
+
+/// Outcome of one arbitration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arbitration {
+    /// Which request wins (0 or 1).
+    pub winner: u8,
+    /// Grant delay after the later request (ps).
+    pub resolution_ps: u64,
+}
+
+impl MetastabilityModel {
+    /// Resolution delay for requests `delta_ps` apart.
+    pub fn resolution_time(&self, delta_ps: f64) -> f64 {
+        if delta_ps >= self.window_ps {
+            return self.nominal_ps;
+        }
+        let d = delta_ps.max(1e-3); // physical noise floor
+        self.nominal_ps + self.tau_ps * (self.window_ps / d).ln()
+    }
+
+    /// Arbitrate two requests at absolute times `t1`, `t2` (ps). Outside
+    /// the window the earlier request wins outright; inside, the earlier
+    /// request still wins but the grant is delayed by the regeneration
+    /// time; at an exact tie the winner is a fair coin.
+    pub fn arbitrate<R: Rng>(&self, t1: u64, t2: u64, rng: &mut R) -> Arbitration {
+        let delta = t1.abs_diff(t2) as f64;
+        let winner = match t1.cmp(&t2) {
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Equal => u8::from(rng.random::<bool>()),
+        };
+        Arbitration {
+            winner,
+            resolution_ps: self.resolution_time(delta).ceil() as u64,
+        }
+    }
+
+    /// Synchronizer MTBF (seconds) for a settling budget of `t_r_ps`,
+    /// clock frequency `f_clk_hz` and data-event rate `f_data_hz`.
+    pub fn mtbf_seconds(&self, t_r_ps: f64, f_clk_hz: f64, f_data_hz: f64) -> f64 {
+        (t_r_ps / self.tau_ps).exp() / (self.window_ps * 1e-12 * f_clk_hz * f_data_hz)
+    }
+
+    /// Smallest whole number of clock cycles of settling time needed to
+    /// reach an MTBF of at least `target_s` seconds.
+    pub fn cycles_for_mtbf(
+        &self,
+        period_ps: f64,
+        f_clk_hz: f64,
+        f_data_hz: f64,
+        target_s: f64,
+    ) -> u32 {
+        for cycles in 1..=64 {
+            let t_r = cycles as f64 * period_ps;
+            if self.mtbf_seconds(t_r, f_clk_hz, f_data_hz) >= target_s {
+                return cycles;
+            }
+        }
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closer_requests_resolve_slower() {
+        let m = MetastabilityModel::default();
+        let far = m.resolution_time(100.0);
+        let near = m.resolution_time(1.0);
+        let tie = m.resolution_time(0.0);
+        assert!(far < near && near < tie, "{far} < {near} < {tie}");
+        assert_eq!(far, m.nominal_ps, "outside the window: nominal");
+    }
+
+    #[test]
+    fn earlier_request_wins_outside_noise() {
+        let m = MetastabilityModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.arbitrate(100, 200, &mut rng).winner, 0);
+        assert_eq!(m.arbitrate(300, 200, &mut rng).winner, 1);
+    }
+
+    #[test]
+    fn exact_tie_is_fair() {
+        let m = MetastabilityModel::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let wins: usize = (0..1000)
+            .map(|_| m.arbitrate(500, 500, &mut rng).winner as usize)
+            .sum();
+        assert!((300..700).contains(&wins), "fair coin: {wins}/1000");
+    }
+
+    #[test]
+    fn mtbf_grows_exponentially_with_settling_time() {
+        let m = MetastabilityModel::default();
+        let one = m.mtbf_seconds(100.0, 1e9, 1e8);
+        let two = m.mtbf_seconds(200.0, 1e9, 1e8);
+        let expect = (100.0 / m.tau_ps).exp();
+        assert!(((two / one) / expect - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flop_synchronizer_is_enough_at_1ghz() {
+        // The classic result the GALS wrapper relies on: a couple of
+        // cycles of settling gives astronomically long MTBF.
+        let m = MetastabilityModel::default();
+        let cycles = m.cycles_for_mtbf(1000.0, 1e9, 1e8, 3.15e7); // 1 year
+        assert!(cycles <= 2, "needed {cycles} cycles");
+        let mtbf = m.mtbf_seconds(2.0 * 1000.0, 1e9, 1e8);
+        assert!(mtbf > 3.15e7);
+    }
+}

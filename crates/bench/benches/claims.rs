@@ -1,0 +1,74 @@
+//! Criterion benches for the quantitative-claim pipelines (E11–E14) —
+//! these measure the *comparison machinery* (FPGA mapper, packer, placer,
+//! router, area models) rather than the fabric itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmorph_core::AreaModel;
+use pmorph_fpga::{circuits, pack, pnr, tech_map, FpgaArch, FpgaTiming};
+use std::hint::black_box;
+
+fn claim_config_and_area_models(c: &mut Criterion) {
+    c.bench_function("claims/arch_accounting", |b| {
+        b.iter(|| {
+            let arch = FpgaArch::default();
+            let area = AreaModel::default();
+            black_box((arch.bits_per_tile(), arch.tile_area_lambda2(), area.lut_area_ratio()))
+        })
+    });
+}
+
+fn claim_tech_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claims/tech_map");
+    for circuit in circuits::suite() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.name),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let d = tech_map(&circuit.netlist, &circuit.outputs, 4).unwrap();
+                    black_box(pack(&d))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn claim_place_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claims/place_and_route");
+    for circuit in circuits::suite() {
+        let design = tech_map(&circuit.netlist, &circuit.outputs, 4).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.name),
+            &design,
+            |b, design| {
+                b.iter(|| black_box(pnr::place_and_route(design, &FpgaTiming::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn claim_scaling_sweep(c: &mut Criterion) {
+    c.bench_function("claims/scaling_law_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..200 {
+                let lam = i as f64 / 200.0;
+                acc += pmorph_core::delay::fpga_relative_frequency(lam)
+                    + pmorph_core::delay::local_relative_frequency(lam)
+                    + pmorph_core::delay::global_wire_relative_delay(lam);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    claims,
+    claim_config_and_area_models,
+    claim_tech_map,
+    claim_place_route,
+    claim_scaling_sweep
+);
+criterion_main!(claims);

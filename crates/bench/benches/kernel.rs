@@ -1,0 +1,167 @@
+//! Criterion benches for the simulation substrate itself: event-kernel
+//! throughput, elaboration speed, and the study pipelines (E15–E18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmorph_core::elaborate::elaborate;
+use pmorph_core::{Fabric, FabricTiming};
+use pmorph_device::variation::{run_study, VariationModel};
+use pmorph_sim::{Component, Logic, Netlist, Simulator};
+use std::hint::black_box;
+
+/// Event-kernel throughput on a free-running inverter ring.
+fn kernel_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/ring_events");
+    for stages in [3usize, 31, 301] {
+        let mut nl = Netlist::new();
+        let en = nl.add_net("en");
+        let mut nets = vec![nl.add_net("n0")];
+        for i in 1..stages {
+            nets.push(nl.add_net(format!("n{i}")));
+        }
+        nl.add_comp(
+            Component::Nand { inputs: vec![en, nets[stages - 1]], output: nets[0] },
+            5,
+        );
+        for i in 1..stages {
+            nl.add_comp(Component::Inv { input: nets[i - 1], output: nets[i] }, 5);
+        }
+        group.throughput(Throughput::Elements(stages as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &nl, |b, nl| {
+            b.iter(|| {
+                let mut sim = Simulator::new(nl.clone());
+                sim.drive(en, Logic::L0);
+                sim.settle(1_000_000).unwrap();
+                sim.drive(en, Logic::L1);
+                sim.run_until(100_000, 100_000_000).unwrap();
+                black_box(sim.stats().events)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fabric elaboration speed vs array size.
+fn kernel_elaboration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/elaborate");
+    for side in [4usize, 16, 32] {
+        let mut fabric = Fabric::new(side, side);
+        fabric.checkerboard_flow();
+        for y in 0..side {
+            for x in 0..side {
+                let b = fabric.block_mut(x, y);
+                b.set_term(0, &[0, 1]);
+                b.drivers[0] = pmorph_core::OutMode::Buf;
+            }
+        }
+        group.throughput(Throughput::Elements((side * side) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(side), &fabric, |b, fabric| {
+            b.iter(|| black_box(elaborate(fabric, &FabricTiming::default())))
+        });
+    }
+    group.finish();
+}
+
+/// Bitstream encode/decode round trip for a whole array.
+fn kernel_bitstream(c: &mut Criterion) {
+    let mut fabric = Fabric::new(32, 32);
+    fabric.checkerboard_flow();
+    c.bench_function("kernel/bitstream_round_trip_1024_blocks", |b| {
+        b.iter(|| {
+            let bits = fabric.to_bitstream();
+            black_box(Fabric::from_bitstream(&bits).unwrap())
+        })
+    });
+}
+
+/// E18 study kernel: rayon-parallel Monte-Carlo threshold variation.
+fn study_variation_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study/variation_mc");
+    for samples in [64usize, 256] {
+        group.throughput(Throughput::Elements(samples as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &samples,
+            |b, &samples| {
+                b.iter(|| {
+                    black_box(run_study(VariationModel::doped_bulk(), samples, 1, 0.3, 0.7))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E16 study kernel: one GALS word transfer.
+fn study_gals_transfer(c: &mut Criterion) {
+    c.bench_function("study/gals_transfer_4_words", |b| {
+        b.iter(|| {
+            let mut g = pmorph_async::GalsSystem::new(2, 8, 700, 1100);
+            black_box(g.transfer(&[1, 2, 3, 4]))
+        })
+    });
+}
+
+/// Levelized vs event-driven exhaustive sweeps (the fast-path choice).
+fn kernel_levelized_vs_event(c: &mut Criterion) {
+    use pmorph_sim::{Levelized, NetId, NetlistBuilder};
+    // a 10-input, ~60-gate parity/majority mix
+    let mut b = NetlistBuilder::new();
+    let inputs: Vec<NetId> = (0..10).map(|i| b.net(format!("i{i}"))).collect();
+    let mut level = inputs.clone();
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.xor(&[pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let out = level[0];
+    let nl = b.build();
+    let mut group = c.benchmark_group("kernel/exhaustive_1024_vectors");
+    group.bench_function("levelized", |bch| {
+        bch.iter(|| {
+            let mut lev = Levelized::new(nl.clone()).unwrap();
+            let mut acc = 0u32;
+            for v in 0..1024u64 {
+                let bound: Vec<(NetId, Logic)> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| (n, Logic::from_bool(v >> i & 1 == 1)))
+                    .collect();
+                let values = lev.eval(&bound);
+                acc += (values[out.0 as usize] == Logic::L1) as u32;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("event_driven", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u32;
+            for v in 0..1024u64 {
+                let mut sim = Simulator::new(nl.clone());
+                for (i, &n) in inputs.iter().enumerate() {
+                    sim.drive(n, Logic::from_bool(v >> i & 1 == 1));
+                }
+                sim.settle(1_000_000).unwrap();
+                acc += (sim.value(out) == Logic::L1) as u32;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernel,
+    kernel_event_throughput,
+    kernel_elaboration,
+    kernel_bitstream,
+    kernel_levelized_vs_event,
+    study_variation_mc,
+    study_gals_transfer
+);
+criterion_main!(kernel);

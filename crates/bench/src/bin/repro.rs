@@ -1,0 +1,56 @@
+//! Regenerate every figure and quantitative claim of the paper.
+//!
+//! ```sh
+//! cargo run --release -p pmorph-bench --bin repro            # all
+//! cargo run --release -p pmorph-bench --bin repro -- E9 E10  # a subset
+//! cargo run --release -p pmorph-bench --bin repro -- --json results.json
+//! ```
+
+use pmorph_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut filters: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next();
+        } else {
+            filters.push(a);
+        }
+    }
+
+    println!("polymorphic-hw reproduction — Beckett, \"A Polymorphic Hardware Platform\", IPDPS 2003");
+    println!("===================================================================================\n");
+
+    let all = experiments::run_all();
+    let selected: Vec<_> = all
+        .into_iter()
+        .filter(|e| filters.is_empty() || filters.iter().any(|f| e.id.contains(f.as_str())))
+        .collect();
+
+    let mut failures = 0;
+    for e in &selected {
+        println!("{e}");
+        if !e.pass {
+            failures += 1;
+        }
+    }
+    println!("===================================================================================");
+    println!(
+        "{} experiments run, {} matched the paper's shape, {} mismatched",
+        selected.len(),
+        selected.len() - failures,
+        failures
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&selected).expect("serializes");
+        std::fs::write(&path, json).expect("writes");
+        println!("results written to {path}");
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,106 @@
+//! E11–E14: the paper's quantitative claims (§2–§5).
+
+use super::Experiment;
+use pmorph_core::delay::{fpga_relative_frequency, global_wire_relative_delay, local_relative_frequency};
+use pmorph_core::AreaModel;
+use pmorph_device::Technology;
+use pmorph_fpga::FpgaArch;
+
+/// E11: 128 config bits/block vs several hundred per FPGA CLB tile.
+pub fn claim_config_bits() -> Experiment {
+    let arch = FpgaArch::default();
+    let fabric_bits = pmorph_core::config::CONFIG_BITS_PER_BLOCK;
+    let fpga_bits = arch.bits_per_tile();
+    let pass = fabric_bits == 128 && (200..=800).contains(&fpga_bits);
+    Experiment {
+        id: "E11/§4",
+        title: "configuration size per function block",
+        paper: "128 bits/block — same order, function-for-function, as the several hundred per FPGA CLB+interconnect",
+        rows: vec![
+            format!("polymorphic block: {fabric_bits} bits"),
+            format!(
+                "FPGA CLB tile:     {fpga_bits} bits ({} logic + {} routing)",
+                arch.logic_bits_per_clb(),
+                arch.routing_bits_per_tile()
+            ),
+            format!("ratio: {:.1}x", fpga_bits as f64 / fabric_bits as f64),
+        ],
+        pass,
+    }
+}
+
+/// E12: ~400 λ² per LUT pair vs ~600 Kλ² per routed 4-LUT — up to three
+/// orders of magnitude (§5).
+pub fn claim_area() -> Experiment {
+    let m = AreaModel::default();
+    let pair = m.lut_pair_lambda2();
+    let fpga = m.fpga_lut_tile_lambda2;
+    let ratio = m.lut_area_ratio();
+    let pass = pair <= 400.0 + 1e-9 && (1000.0..10_000.0).contains(&ratio);
+    Experiment {
+        id: "E12/§4-5",
+        title: "silicon area per LUT-equivalent",
+        paper: "LUT pair < 400λ² vs ~600Kλ² routed 4-LUT: reduction possibly as large as 3 orders of magnitude",
+        rows: vec![
+            format!("fabric LUT pair: {pair:.0} λ²"),
+            format!("FPGA 4-LUT tile: {fpga:.0} λ²"),
+            format!("ratio: {ratio:.0}x (~10^{:.1})", ratio.log10()),
+        ],
+        pass,
+    }
+}
+
+/// E13: >10⁹ cells/cm² density; <100 mW configuration-plane static power.
+pub fn claim_density_power() -> Experiment {
+    let t = Technology::nano_projected();
+    let density = t.cells_per_cm2();
+    let p_1e9 = t.config_static_power_w(1e9);
+    let area_density = AreaModel::default().cells_per_cm2();
+    let pass = density > 1e9 && p_1e9 < 0.1 && area_density > 1e9;
+    Experiment {
+        id: "E13/§3",
+        title: "cell density and configuration static power",
+        paper: ">10⁹ cells/cm² at ~50nm RTDs; configuration plane <100 mW (10-50 pA standby per cell)",
+        rows: vec![
+            format!("density (RTD pitch model):  {density:.2e} cells/cm²"),
+            format!("density (λ² area model):    {area_density:.2e} cells/cm²"),
+            format!("static power @ 1e9 cells:   {:.1} mW", p_1e9 * 1e3),
+            format!(
+                "static power, full 1 cm² die: {:.0} mW (at {:.0} pA/cell)",
+                t.full_die_config_power_w() * 1e3,
+                t.rtd_standby_a * 1e12
+            ),
+        ],
+        pass,
+    }
+}
+
+/// E14: FPGA frequency improves only O(λ^½) with scaling; local fabric
+/// tracks device speed O(λ).
+pub fn claim_scaling() -> Experiment {
+    let mut rows = vec!["λ_rel   FPGA f(λ^-1/2)  local f(λ^-1)  gap    unscaled-wire delay".into()];
+    let mut pass = true;
+    for lam in [1.0, 0.5, 0.25, 0.125, 0.0625] {
+        let f_fpga = fpga_relative_frequency(lam);
+        let f_loc = local_relative_frequency(lam);
+        let wire = global_wire_relative_delay(lam);
+        pass &= f_loc >= f_fpga;
+        rows.push(format!(
+            "{lam:<7.4} {f_fpga:>9.2}x {f_loc:>13.2}x {:>6.2}x {wire:>12.0}x",
+            f_loc / f_fpga
+        ));
+    }
+    // the gap must widen monotonically
+    let gaps: Vec<f64> = [1.0, 0.5, 0.25, 0.125]
+        .iter()
+        .map(|&l| local_relative_frequency(l) / fpga_relative_frequency(l))
+        .collect();
+    pass &= gaps.windows(2).all(|w| w[1] > w[0]);
+    Experiment {
+        id: "E14/§2.1",
+        title: "interconnect-limited frequency scaling",
+        paper: "if FPGA organisations stay the same, frequency improves only O(λ^1/2) (De Dinechin [18])",
+        rows,
+        pass,
+    }
+}

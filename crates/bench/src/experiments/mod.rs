@@ -1,0 +1,104 @@
+//! Experiment index (DESIGN.md E1–E22). Each module regenerates one paper
+//! figure, quantitative claim, or extension study.
+
+pub mod claims;
+pub mod devices;
+pub mod extensions;
+pub mod fabric_figs;
+pub mod pipelines;
+pub mod studies;
+
+use serde::Serialize;
+
+/// Common shape of an experiment result: an id, the paper's expectation,
+/// and rendered rows.
+#[derive(Clone, Debug, Serialize)]
+pub struct Experiment {
+    /// DESIGN.md experiment id (e.g. "E1/Fig3").
+    pub id: &'static str,
+    /// One-line description of the artefact.
+    pub title: &'static str,
+    /// What the paper claims / shows (shape-level expectation).
+    pub paper: &'static str,
+    /// Measured result lines.
+    pub rows: Vec<String>,
+    /// Whether the shape-level expectation held.
+    pub pass: bool,
+}
+
+impl std::fmt::Display for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "── {} — {} {}", self.id, self.title, if self.pass { "[OK]" } else { "[MISMATCH]" })?;
+        writeln!(f, "   paper: {}", self.paper)?;
+        for r in &self.rows {
+            writeln!(f, "   {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run every experiment in index order.
+#[allow(clippy::vec_init_then_push)] // one push per experiment, in index order
+pub fn run_all() -> Vec<Experiment> {
+    let mut out = Vec::new();
+    out.push(devices::fig3_inverter_vtc());
+    out.push(devices::fig4_nand_modes());
+    out.push(devices::fig5_buffer_modes());
+    out.push(devices::fig6_rtd_ram());
+    out.push(fabric_figs::fig7_nand_block());
+    out.push(fabric_figs::fig8_array());
+    out.push(fabric_figs::fig9_lut_dff());
+    out.push(fabric_figs::fig10_datapath());
+    out.push(pipelines::fig11_micropipeline());
+    out.push(pipelines::fig12_ecse());
+    out.push(claims::claim_config_bits());
+    out.push(claims::claim_area());
+    out.push(claims::claim_density_power());
+    out.push(claims::claim_scaling());
+    out.push(studies::study_utilization());
+    out.push(studies::study_gals());
+    out.push(studies::study_bitserial());
+    out.push(studies::study_variation());
+    out.push(extensions::study_defects());
+    out.push(extensions::study_clockless_power());
+    out.push(extensions::study_general_mapper());
+    out.push(extensions::study_delay_crossover());
+    out.push(extensions::study_thermal());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_experiments_pass() {
+        for e in [
+            claims::claim_config_bits(),
+            claims::claim_area(),
+            claims::claim_density_power(),
+            claims::claim_scaling(),
+        ] {
+            assert!(e.pass, "{} mismatched:\n{e}", e.id);
+        }
+    }
+
+    #[test]
+    fn device_experiments_pass() {
+        for e in [
+            devices::fig3_inverter_vtc(),
+            devices::fig4_nand_modes(),
+            devices::fig5_buffer_modes(),
+        ] {
+            assert!(e.pass, "{} mismatched:\n{e}", e.id);
+        }
+    }
+
+    #[test]
+    fn display_renders_all_fields() {
+        let e = claims::claim_area();
+        let s = format!("{e}");
+        assert!(s.contains(e.id) && s.contains("paper:"));
+        assert!(e.rows.iter().all(|r| s.contains(r)));
+    }
+}

@@ -1,0 +1,10 @@
+//! # pmorph-bench — regenerating every figure and claim of the paper
+//!
+//! One module per evaluation artefact (the paper has no numbered tables;
+//! its evaluation is Figs. 3–12 plus quantitative claims in §2–§5 — see
+//! DESIGN.md's experiment index E1–E18). Each module exposes `run()`
+//! returning a serialisable result with a [`std::fmt::Display`] rendering
+//! of the same rows/series the paper reports; the `repro` binary prints
+//! them all and dumps JSON.
+
+pub mod experiments;

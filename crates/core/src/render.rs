@@ -1,0 +1,112 @@
+//! ASCII rendering of configured fabrics — the textual equivalent of the
+//! paper's layout figures (the dots of Fig. 9 are "the leaf-cells that
+//! have been enabled — the remainder are configured off").
+//!
+//! Each block renders as a small box: flow arrow, live product-term count,
+//! and a 6×6 crosspoint thumbnail on request. Used by the examples and
+//! priceless when debugging a mis-mapped tile.
+
+use crate::array::Fabric;
+use crate::config::{Edge, OutMode, LANES};
+use pmorph_device::CellMode;
+use std::fmt::Write as _;
+
+/// Flow-direction glyph for a block.
+fn flow_glyph(input: Edge, output: Edge) -> &'static str {
+    match (input, output) {
+        (Edge::West, Edge::East) => "→",
+        (Edge::East, Edge::West) => "←",
+        (Edge::North, Edge::South) => "↓",
+        (Edge::South, Edge::North) => "↑",
+        (Edge::West, Edge::South) | (Edge::North, Edge::East) => "⌐",
+        (Edge::West, Edge::North) | (Edge::South, Edge::East) => "L",
+        _ => "+",
+    }
+}
+
+/// One-line-per-row summary: each block shows its flow direction and the
+/// number of live terms (`·` for dormant blocks).
+pub fn render_summary(fabric: &Fabric) -> String {
+    let mut out = String::new();
+    for y in 0..fabric.height() {
+        for x in 0..fabric.width() {
+            let b = fabric.block(x, y);
+            let live = (0..LANES).filter(|&t| b.drivers[t] != OutMode::Off).count();
+            if live == 0 {
+                let _ = write!(out, " ···  ");
+            } else {
+                let _ = write!(out, "[{}{live:>2}] ", flow_glyph(b.input_edge, b.output_edge));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Detailed thumbnail of one block: the crosspoint matrix (`A` active,
+/// `o` stuck-on, `.` stuck-off) with each row's driver mode.
+pub fn render_block(fabric: &Fabric, x: usize, y: usize) -> String {
+    let b = fabric.block(x, y);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "block ({x},{y}): in={:?} out={:?} alt={:?}",
+        b.input_edge, b.output_edge, b.alt_edge
+    );
+    for t in 0..LANES {
+        let row: String = (0..LANES)
+            .map(|c| match b.crosspoints[t][c] {
+                CellMode::Active => 'A',
+                CellMode::StuckOn => 'o',
+                CellMode::StuckOff => '.',
+            })
+            .collect();
+        let drv = match b.drivers[t] {
+            OutMode::Off => "off",
+            OutMode::Inv => "inv",
+            OutMode::Buf => "buf",
+            OutMode::Pass => "pas",
+        };
+        let _ = writeln!(out, "  t{t}: {row}  {drv} -> {:?}", b.dests[t]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BlockConfig;
+
+    #[test]
+    fn dormant_fabric_renders_dots() {
+        let f = Fabric::new(3, 2);
+        let s = render_summary(&f);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("···"));
+        assert!(!s.contains('['));
+    }
+
+    #[test]
+    fn configured_block_renders_flow_and_count() {
+        let mut f = Fabric::new(2, 1);
+        let b = f.block_mut(0, 0);
+        *b = BlockConfig::flowing(Edge::North, Edge::South);
+        b.set_term(0, &[0, 1]);
+        b.drivers[0] = OutMode::Buf;
+        b.set_term(1, &[2]);
+        b.drivers[1] = OutMode::Inv;
+        let s = render_summary(&f);
+        assert!(s.contains("[↓ 2]"), "{s}");
+    }
+
+    #[test]
+    fn block_thumbnail_shows_modes() {
+        let mut f = Fabric::new(1, 1);
+        let b = f.block_mut(0, 0);
+        b.set_term(0, &[0, 5]);
+        b.drivers[0] = OutMode::Inv;
+        let s = render_block(&f, 0, 0);
+        assert!(s.contains("t0: AooooA  inv"), "{s}");
+        assert!(s.contains("t1: ......  off"), "{s}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Switching dynamics: deriving gate delay from the device models.
+//!
+//! The digital layer's `FabricTiming` numbers are not pulled from the air:
+//! a CMOS stage's propagation delay is, to first order, the time the
+//! driving device needs to (dis)charge the load through half the swing,
+//!
+//! ```text
+//! t_p ≈ C_L · (V_DD/2) / I_drive(V_DD/2)
+//! ```
+//!
+//! This module computes that from the EKV models, predicts ring-oscillator
+//! periods, and exports per-primitive delays the fabric layer can adopt —
+//! closing the loop from Fig. 2's transistor to the picoseconds used in
+//! every simulation above it.
+
+use crate::vtc::ConfigurableInverter;
+use serde::{Deserialize, Serialize};
+
+/// Load/parasitics assumptions for delay extraction.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwitchingModel {
+    /// Load capacitance per gate input + local wire (F).
+    pub c_load_f: f64,
+}
+
+impl Default for SwitchingModel {
+    /// ≈50 aF: a couple of 10 nm gates plus an abutted local lane.
+    fn default() -> Self {
+        SwitchingModel { c_load_f: 50e-18 }
+    }
+}
+
+impl SwitchingModel {
+    /// Propagation delay of a configured inverter stage (ps): average of
+    /// the pull-down and pull-up charging times through half the swing.
+    pub fn inverter_delay_ps(&self, inv: &ConfigurableInverter, vg2: f64) -> f64 {
+        let vdd = inv.vdd;
+        let half = vdd / 2.0;
+        // drive current at the half-swing point with the input at the far
+        // rail (worst-case single-switch transition)
+        let i_n = inv.nmos.current(vdd, 0.0, half, vg2).abs();
+        let i_p = inv.pmos.current(0.0, vdd, half, vg2).abs();
+        let t_fall = self.c_load_f * half / i_n.max(1e-18);
+        let t_rise = self.c_load_f * half / i_p.max(1e-18);
+        0.5 * (t_fall + t_rise) * 1e12
+    }
+
+    /// Delay of the 6-input NAND product line (ps): the series stack at
+    /// worst case drives like a single device weakened by the stack depth,
+    /// so we scale the inverter delay by the active stack height.
+    pub fn nand_delay_ps(&self, inv: &ConfigurableInverter, stack: usize) -> f64 {
+        self.inverter_delay_ps(inv, 0.0) * stack.max(1) as f64
+    }
+
+    /// Predicted period of an `n`-stage ring oscillator (ps): `2·n·t_p`.
+    pub fn ring_period_ps(&self, inv: &ConfigurableInverter, n: usize) -> f64 {
+        2.0 * n as f64 * self.inverter_delay_ps(inv, 0.0)
+    }
+
+    /// Energy per output transition (J): `½·C·V²`.
+    pub fn energy_per_transition_j(&self, vdd: f64) -> f64 {
+        0.5 * self.c_load_f * vdd * vdd
+    }
+}
+
+/// Per-primitive delays extracted from the device models, in the shape the
+/// fabric layer consumes (ps, rounded up, ≥1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtractedTiming {
+    /// Six-input NAND product line.
+    pub nand_ps: u64,
+    /// Output driver (one restoring stage).
+    pub driver_ps: u64,
+    /// Pass connection (charge sharing through a conducting pair —
+    /// roughly one RC with the pair's on-resistance).
+    pub pass_ps: u64,
+}
+
+/// Extract fabric timing from an inverter model: the NAND line is a
+/// 2-high worst-case stack (the crosspoint pair in series with the line),
+/// the driver one stage, the pass mode ≈ a third of a stage.
+pub fn extract_timing(inv: &ConfigurableInverter, sw: &SwitchingModel) -> ExtractedTiming {
+    let stage = sw.inverter_delay_ps(inv, 0.0);
+    let nand = sw.nand_delay_ps(inv, 2);
+    ExtractedTiming {
+        nand_ps: nand.ceil().max(1.0) as u64,
+        driver_ps: stage.ceil().max(1.0) as u64,
+        pass_ps: (stage / 3.0).ceil().max(1.0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_picoseconds_scale() {
+        let sw = SwitchingModel::default();
+        let inv = ConfigurableInverter::default();
+        let t = sw.inverter_delay_ps(&inv, 0.0);
+        assert!(
+            (0.1..1000.0).contains(&t),
+            "10nm-class stage delay should be ps-scale, got {t} ps"
+        );
+    }
+
+    #[test]
+    fn stronger_bias_is_faster_pulldown() {
+        let sw = SwitchingModel::default();
+        let inv = ConfigurableInverter::default();
+        // positive back-gate bias strengthens the NMOS: half-swing current
+        // rises, so the *fall* component shrinks even as the pull-up slows.
+        let vdd = inv.vdd;
+        let i0 = inv.nmos.current(vdd, 0.0, vdd / 2.0, 0.0);
+        let i1 = inv.nmos.current(vdd, 0.0, vdd / 2.0, 0.8);
+        assert!(i1 > i0);
+        let _ = sw;
+    }
+
+    #[test]
+    fn bigger_load_is_slower_proportionally() {
+        let inv = ConfigurableInverter::default();
+        let t1 = SwitchingModel { c_load_f: 50e-18 }.inverter_delay_ps(&inv, 0.0);
+        let t2 = SwitchingModel { c_load_f: 100e-18 }.inverter_delay_ps(&inv, 0.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_period_linear_in_stages() {
+        let sw = SwitchingModel::default();
+        let inv = ConfigurableInverter::default();
+        let p3 = sw.ring_period_ps(&inv, 3);
+        let p9 = sw.ring_period_ps(&inv, 9);
+        assert!((p9 / p3 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extracted_timing_ordering() {
+        let t = extract_timing(&ConfigurableInverter::default(), &SwitchingModel::default());
+        assert!(t.nand_ps >= t.driver_ps, "stacked line slower than a stage");
+        assert!(t.pass_ps <= t.driver_ps, "pass mode fastest");
+        assert!(t.nand_ps >= 1 && t.pass_ps >= 1);
+    }
+
+    #[test]
+    fn devices_weak_enough_that_stuck_bias_kills_drive() {
+        // In stuck-off bias the drive current is so small the "delay"
+        // diverges — the quantitative face of 'open circuit'.
+        let sw = SwitchingModel::default();
+        let inv = ConfigurableInverter::default();
+        let active = sw.inverter_delay_ps(&inv, 0.0);
+        let vdd = inv.vdd;
+        let i_off = inv.nmos.current(vdd, 0.0, vdd / 2.0, -2.0);
+        let t_off = sw.c_load_f * (vdd / 2.0) / i_off * 1e12;
+        assert!(t_off > active * 1e3, "off device ~1000x slower: {t_off} vs {active}");
+    }
+
+    #[test]
+    fn transition_energy_attojoule_scale() {
+        let e = SwitchingModel::default().energy_per_transition_j(1.0);
+        assert!((1e-18..1e-15).contains(&e), "{e} J");
+    }
+}

@@ -1,0 +1,196 @@
+//! The polymorphic leaf cell: stored trit → back-gate bias → behaviour.
+//!
+//! One leaf cell (paper Fig. 6) is a complementary DG pair whose shared
+//! back-gate node is held by an RTD-RAM storage element. The stored
+//! multi-valued state selects one of three operating regions:
+//!
+//! | stored | bias  | behaviour                                        |
+//! |--------|-------|--------------------------------------------------|
+//! | `−`    | −2 V  | **StuckOff** — pair disabled, output pulled high |
+//! | `0`    |  0 V  | **Active** — pair operates as logic              |
+//! | `+`    | +2 V  | **StuckOn** — pair transparent (input ignored)   |
+//!
+//! `pmorph-core` uses `CellMode` as its digital abstraction of a crosspoint;
+//! this module proves the abstraction against the device models.
+
+use crate::gates::{ConfigurableNand, NandOutput};
+use crate::rtd::RtdRamCell;
+use serde::{Deserialize, Serialize};
+
+/// A three-valued configuration symbol, the unit of the fabric's
+/// multi-valued configuration RAM.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Trit {
+    /// −2 V back-gate bias: pair disabled.
+    Minus,
+    /// 0 V: pair active as logic.
+    #[default]
+    Zero,
+    /// +2 V: pair transparent.
+    Plus,
+}
+
+impl Trit {
+    /// All values.
+    pub const ALL: [Trit; 3] = [Trit::Minus, Trit::Zero, Trit::Plus];
+
+    /// The back-gate bias voltage this symbol programs (V).
+    #[inline]
+    pub fn bias(self) -> f64 {
+        match self {
+            Trit::Minus => -2.0,
+            Trit::Zero => 0.0,
+            Trit::Plus => 2.0,
+        }
+    }
+
+    /// Two-bit encoding used by the 8×8 configuration RAM (128 bits/block).
+    #[inline]
+    pub fn encode(self) -> u8 {
+        match self {
+            Trit::Minus => 0b00,
+            Trit::Zero => 0b01,
+            Trit::Plus => 0b10,
+        }
+    }
+
+    /// Inverse of [`Trit::encode`]; `0b11` is reserved and rejected.
+    #[inline]
+    pub fn decode(bits: u8) -> Option<Trit> {
+        match bits & 0b11 {
+            0b00 => Some(Trit::Minus),
+            0b01 => Some(Trit::Zero),
+            0b10 => Some(Trit::Plus),
+            _ => None,
+        }
+    }
+}
+
+/// Digital behaviour of a configured leaf cell, as consumed by the fabric.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum CellMode {
+    /// The cell's input participates in the NAND product.
+    #[default]
+    Active,
+    /// The cell conducts unconditionally: its input is dropped from the
+    /// product (logic-1 contribution).
+    StuckOn,
+    /// The cell is disabled: the product line it sits on is forced high
+    /// (used to kill an entire term).
+    StuckOff,
+}
+
+impl CellMode {
+    /// Mode selected by a stored trit.
+    #[inline]
+    pub fn from_trit(t: Trit) -> CellMode {
+        match t {
+            Trit::Minus => CellMode::StuckOff,
+            Trit::Zero => CellMode::Active,
+            Trit::Plus => CellMode::StuckOn,
+        }
+    }
+
+    /// Trit that programs this mode.
+    #[inline]
+    pub fn to_trit(self) -> Trit {
+        match self {
+            CellMode::StuckOff => Trit::Minus,
+            CellMode::Active => Trit::Zero,
+            CellMode::StuckOn => Trit::Plus,
+        }
+    }
+}
+
+/// A full leaf cell: RTD-RAM storage plus the complementary pair it biases.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LeafCell {
+    /// The multi-valued storage node.
+    pub ram: RtdRamCell,
+    /// The logic pair model used for physical verification.
+    pub pair: ConfigurableNand,
+}
+
+impl Default for LeafCell {
+    fn default() -> Self {
+        LeafCell { ram: RtdRamCell::three_state(), pair: ConfigurableNand::default() }
+    }
+}
+
+impl LeafCell {
+    /// Program the cell by writing its RTD RAM.
+    pub fn configure(&mut self, trit: Trit) {
+        let level = match trit {
+            Trit::Minus => 0,
+            Trit::Zero => 1,
+            Trit::Plus => 2,
+        };
+        self.ram.write(level);
+    }
+
+    /// The trit currently stored (read back from the RAM's settled state).
+    pub fn stored(&self) -> Trit {
+        match self.ram.read() {
+            0 => Trit::Minus,
+            1 => Trit::Zero,
+            _ => Trit::Plus,
+        }
+    }
+
+    /// Digital mode implied by the stored configuration.
+    pub fn mode(&self) -> CellMode {
+        CellMode::from_trit(self.stored())
+    }
+
+    /// Verify, at the device level, that the stored configuration produces
+    /// the digital behaviour [`CellMode`] promises (single-input NAND
+    /// classification). Returns false if the analogue solution disagrees.
+    pub fn verify_physics(&self) -> bool {
+        // Exercise this cell as input A of a 2-NAND whose B pair is
+        // transparent, so the gate output is determined by this cell alone.
+        let got = self.pair.classify(self.stored(), Trit::Plus);
+        match self.mode() {
+            CellMode::Active => got == NandOutput::NotA,
+            CellMode::StuckOn => got == NandOutput::ConstZero,
+            CellMode::StuckOff => got == NandOutput::ConstOne,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trit_encode_round_trip() {
+        for t in Trit::ALL {
+            assert_eq!(Trit::decode(t.encode()), Some(t));
+        }
+        assert_eq!(Trit::decode(0b11), None);
+    }
+
+    #[test]
+    fn mode_round_trip() {
+        for t in Trit::ALL {
+            assert_eq!(CellMode::from_trit(t).to_trit(), t);
+        }
+    }
+
+    #[test]
+    fn configure_and_read_back() {
+        let mut cell = LeafCell::default();
+        for t in Trit::ALL {
+            cell.configure(t);
+            assert_eq!(cell.stored(), t, "RAM write/read round trip");
+        }
+    }
+
+    #[test]
+    fn all_modes_verified_against_devices() {
+        let mut cell = LeafCell::default();
+        for t in Trit::ALL {
+            cell.configure(t);
+            assert!(cell.verify_physics(), "mode {:?} physics mismatch", cell.mode());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Technology bookkeeping: the paper's §3 density and static-power claims.
+//!
+//! > "The basic cell could then be replicated into a very large array —
+//! > with potential densities in excess of 10⁹ logic cells/cm². Even at
+//! > this scale, the configuration circuits would be likely to consume
+//! > less than 100 mW of static power."
+//!
+//! This module implements the arithmetic behind those claims so the claim
+//! bench (`claim_density_power`) can regenerate them from first principles:
+//! cell pitch from the RTD mesa size, cells/cm² from pitch, configuration
+//! plane power from per-cell RTD standby current.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology parameters at one scaling node.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Half-pitch / feature size λ (nm).
+    pub lambda_nm: f64,
+    /// RTD mesa edge (nm) — the Nanotechnology Roadmap's 2012 figure is
+    /// ~50 nm.
+    pub rtd_mesa_nm: f64,
+    /// Leaf-cell edge as a multiple of the RTD mesa (vertical stacking
+    /// puts the transistors *on top of* the RTD, so the mesa dominates).
+    pub cell_pitch_mesas: f64,
+    /// Per-cell RTD standby current (A); roadmap range 10–50 pA.
+    pub rtd_standby_a: f64,
+    /// Configuration-plane supply (V).
+    pub config_vdd: f64,
+}
+
+impl Technology {
+    /// The paper's projected nano-scale node: 10 nm devices, 50 nm RTDs,
+    /// 30 pA standby.
+    pub fn nano_projected() -> Self {
+        Technology {
+            lambda_nm: 10.0,
+            rtd_mesa_nm: 50.0,
+            cell_pitch_mesas: 2.0,
+            rtd_standby_a: 30e-12,
+            config_vdd: 0.9,
+        }
+    }
+
+    /// Leaf-cell pitch (nm).
+    pub fn cell_pitch_nm(&self) -> f64 {
+        self.rtd_mesa_nm * self.cell_pitch_mesas
+    }
+
+    /// Leaf-cell footprint (nm²).
+    pub fn cell_area_nm2(&self) -> f64 {
+        let p = self.cell_pitch_nm();
+        p * p
+    }
+
+    /// Achievable cell density (cells per cm²). 1 cm² = 10¹⁴ nm².
+    pub fn cells_per_cm2(&self) -> f64 {
+        1e14 / self.cell_area_nm2()
+    }
+
+    /// Static power of the configuration plane for `n_cells` cells (W).
+    pub fn config_static_power_w(&self, n_cells: f64) -> f64 {
+        n_cells * self.rtd_standby_a * self.config_vdd
+    }
+
+    /// Convenience: static power at full density on 1 cm² (W).
+    pub fn full_die_config_power_w(&self) -> f64 {
+        self.config_static_power_w(self.cells_per_cm2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_exceeds_1e9_per_cm2() {
+        let t = Technology::nano_projected();
+        let d = t.cells_per_cm2();
+        assert!(d > 1e9, "paper claims >10⁹ cells/cm², model gives {d:.3e}");
+    }
+
+    #[test]
+    fn config_power_under_100mw_at_1e9_cells() {
+        let t = Technology::nano_projected();
+        let p = t.config_static_power_w(1e9);
+        assert!(p < 0.1, "paper claims <100 mW, model gives {:.1} mW", p * 1e3);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_cells() {
+        let t = Technology::nano_projected();
+        let p1 = t.config_static_power_w(1e8);
+        let p2 = t.config_static_power_w(2e8);
+        assert!((p2 / p1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_roadmap_current_still_meets_claim_at_1e9() {
+        let t = Technology { rtd_standby_a: 50e-12, ..Technology::nano_projected() };
+        // At the pessimistic end of the roadmap range the claim holds for
+        // 10⁹ cells (the density the paper quotes).
+        assert!(t.config_static_power_w(1e9) < 0.1);
+    }
+}

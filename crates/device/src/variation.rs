@@ -1,0 +1,173 @@
+//! Monte-Carlo threshold-variation study (paper §3).
+//!
+//! > "One of the major advantages of DG technology is that the undoped
+//! > channel region eliminates performance variations (in threshold
+//! > voltage, conductance etc.) due to random dopant dispersion."
+//!
+//! We model the classic Pelgrom/random-dopant-fluctuation picture: a doped
+//! bulk channel at 10 nm holds only a handful of dopant atoms, so Poisson
+//! counting statistics produce large σ(V_T); the undoped DG channel keeps
+//! only the (much smaller) body-thickness term. The study samples inverter
+//! pairs, solves each sample's switching threshold with the real VTC
+//! solver, and reports the distribution plus a noise-margin failure rate —
+//! `rayon`-parallel across samples, deterministically seeded.
+
+use crate::mosfet::DgMosfet;
+use crate::vtc::ConfigurableInverter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Variation model for one technology flavour.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Random-dopant-fluctuation σ(V_T) component (V).
+    pub sigma_rdf: f64,
+    /// Geometric (body-thickness / line-edge) σ(V_T) component (V).
+    pub sigma_geom: f64,
+}
+
+impl VariationModel {
+    /// Doped bulk-style channel at a 10 nm-class geometry: RDF dominates.
+    /// (With N_A ≈ 10¹⁸ cm⁻³ in a 10×10×5 nm channel, the mean dopant
+    /// count is ~5 atoms; σ_N/N ≈ 45 %, giving σ(V_T) on the order of
+    /// 60 mV.)
+    pub fn doped_bulk() -> Self {
+        VariationModel { sigma_rdf: 0.060, sigma_geom: 0.010 }
+    }
+
+    /// Undoped fully-depleted double-gate channel: the RDF term vanishes,
+    /// leaving only body-thickness control (~1 Å-level, σ(V_T) ≈ 7 mV).
+    pub fn undoped_dg() -> Self {
+        VariationModel { sigma_rdf: 0.0, sigma_geom: 0.007 }
+    }
+
+    /// Total σ(V_T) (V): independent components add in quadrature.
+    pub fn sigma_total(&self) -> f64 {
+        (self.sigma_rdf * self.sigma_rdf + self.sigma_geom * self.sigma_geom).sqrt()
+    }
+}
+
+/// Result of a Monte-Carlo run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VariationStudy {
+    /// Samples drawn.
+    pub samples: usize,
+    /// Mean inverter switching threshold (V).
+    pub mean_vth: f64,
+    /// Standard deviation of the switching threshold (V).
+    pub sigma_vth: f64,
+    /// Fraction of samples whose switching threshold left the
+    /// `[lo, hi]` noise-margin window (or failed to invert at all).
+    pub failure_rate: f64,
+}
+
+/// Standard-normal sample via Box–Muller (keeps the dependency set to the
+/// approved `rand` core).
+fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Run the Monte-Carlo: sample `samples` inverters with per-device V_T0
+/// drawn from the variation model, solve each switching threshold, and
+/// score against the noise-margin window `[lo_frac, hi_frac]·VDD`.
+///
+/// Deterministic: sample `i` uses seed `seed ⊕ i`.
+pub fn run_study(
+    model: VariationModel,
+    samples: usize,
+    seed: u64,
+    lo_frac: f64,
+    hi_frac: f64,
+) -> VariationStudy {
+    let nominal = ConfigurableInverter::default();
+    let sigma = model.sigma_total();
+    let thresholds: Vec<Option<f64>> = (0..samples)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let dvt_n = sigma * std_normal(&mut rng);
+            let dvt_p = sigma * std_normal(&mut rng);
+            let inv = ConfigurableInverter {
+                nmos: DgMosfet { vt0: nominal.nmos.vt0 + dvt_n, ..nominal.nmos },
+                pmos: DgMosfet { vt0: nominal.pmos.vt0 + dvt_p, ..nominal.pmos },
+                vdd: nominal.vdd,
+            };
+            inv.switching_threshold(0.0)
+        })
+        .collect();
+
+    let ok: Vec<f64> = thresholds.iter().filter_map(|t| *t).collect();
+    let failures = thresholds
+        .iter()
+        .filter(|t| match t {
+            None => true,
+            Some(v) => *v < lo_frac * nominal.vdd || *v > hi_frac * nominal.vdd,
+        })
+        .count();
+    let mean = ok.iter().sum::<f64>() / ok.len().max(1) as f64;
+    let var = ok.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / ok.len().max(1) as f64;
+    VariationStudy {
+        samples,
+        mean_vth: mean,
+        sigma_vth: var.sqrt(),
+        failure_rate: failures as f64 / samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dg_sigma_much_smaller_than_bulk() {
+        let bulk = VariationModel::doped_bulk().sigma_total();
+        let dg = VariationModel::undoped_dg().sigma_total();
+        assert!(bulk / dg > 5.0, "bulk {bulk} vs dg {dg}");
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = run_study(VariationModel::undoped_dg(), 64, 42, 0.3, 0.7);
+        let b = run_study(VariationModel::undoped_dg(), 64, 42, 0.3, 0.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measured_sigma_tracks_model() {
+        let model = VariationModel::doped_bulk();
+        let study = run_study(model, 400, 7, 0.3, 0.7);
+        // Switching threshold shifts roughly half as much as a single-device
+        // V_T (two devices pull opposite ways); allow a generous window.
+        let expect = model.sigma_total() / 2f64.sqrt();
+        assert!(
+            study.sigma_vth > 0.3 * expect && study.sigma_vth < 2.0 * expect,
+            "σ_vth {} vs expected ~{}",
+            study.sigma_vth,
+            expect
+        );
+    }
+
+    #[test]
+    fn dg_has_lower_failure_rate_than_bulk() {
+        // Tight noise-margin window to force measurable failures in bulk.
+        let bulk = run_study(VariationModel::doped_bulk(), 600, 11, 0.42, 0.58);
+        let dg = run_study(VariationModel::undoped_dg(), 600, 11, 0.42, 0.58);
+        assert!(
+            dg.failure_rate < bulk.failure_rate,
+            "dg {} !< bulk {}",
+            dg.failure_rate,
+            bulk.failure_rate
+        );
+        assert!(dg.failure_rate < 0.01, "dg failures {}", dg.failure_rate);
+    }
+
+    #[test]
+    fn mean_threshold_near_midpoint() {
+        let s = run_study(VariationModel::undoped_dg(), 128, 3, 0.3, 0.7);
+        assert!((s.mean_vth - 0.5).abs() < 0.05, "mean {}", s.mean_vth);
+    }
+}

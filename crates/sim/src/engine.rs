@@ -1,0 +1,698 @@
+//! Deterministic event-driven simulation kernel.
+//!
+//! Time is measured in integer picoseconds. Every component output owns a
+//! *driver slot*; a net's value is the wired resolution of its slots plus one
+//! implicit external slot used by [`Simulator::drive`] for primary inputs.
+//! Scheduling uses single-pending-event inertial delay per slot: a glitch
+//! shorter than a component's propagation delay is swallowed, exactly as the
+//! fabric's RC-limited local links would swallow it.
+//!
+//! Determinism: events are ordered by `(time, sequence)`; components made
+//! dirty within one timestep are evaluated in ascending id order. Two runs of
+//! the same netlist with the same stimulus produce identical traces.
+
+use crate::logic::Logic;
+use crate::netlist::{CompId, NetId, Netlist};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event budget was exhausted before the queue drained — almost
+    /// always an oscillating combinational loop (e.g. an odd NAND ring).
+    EventLimit {
+        /// Events processed before giving up.
+        events: u64,
+        /// Simulation time reached.
+        time: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::EventLimit { events, time } => write!(
+                f,
+                "event budget exhausted after {events} events at t={time}ps \
+                 (oscillating feedback loop?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Run statistics, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total events applied.
+    pub events: u64,
+    /// Total component evaluations.
+    pub evals: u64,
+    /// Net value changes observed.
+    pub net_toggles: u64,
+    /// High-water mark of the event queue.
+    pub max_queue: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    time: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    key: EventKey,
+    slot: u32,
+    value: Logic,
+    version: u32,
+    /// Generator component to re-arm after this event fires.
+    generator: Option<CompId>,
+    /// External stimulus events bypass inertial cancellation: every
+    /// pre-scheduled `drive_at` takes effect in order (transport delay).
+    forced: bool,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    value: Logic,
+    version: u32,
+    pending: Option<(u64, Logic)>,
+}
+
+/// The event-driven simulator. Owns the netlist (components carry state).
+pub struct Simulator {
+    netlist: Netlist,
+    /// Resolved value of each net.
+    values: Vec<Logic>,
+    /// Driver slots: one per component output port, then one external slot
+    /// per net (for primary-input stimulus).
+    slots: Vec<Slot>,
+    /// Slot index of each net's external driver.
+    external_slot: Vec<u32>,
+    /// slot -> net it drives.
+    slot_net: Vec<NetId>,
+    /// (comp, port) -> slot, laid out as comp-major prefix sums.
+    comp_slot_base: Vec<u32>,
+    queue: BinaryHeap<Reverse<Event>>,
+    time: u64,
+    seq: u64,
+    stats: SimStats,
+    /// Per-net recorded transitions, for watched nets only.
+    traces: Vec<Option<Vec<(u64, Logic)>>>,
+    /// Scratch buffers reused across steps (allocation-free hot loop).
+    dirty_nets: Vec<u32>,
+    dirty_comps: Vec<u32>,
+    comp_dirty_flag: Vec<bool>,
+    net_dirty_flag: Vec<bool>,
+}
+
+impl Simulator {
+    /// Build a simulator. All slots start at `Z`, all nets at the resolution
+    /// of their (empty) drivers; every component is evaluated once at t=0 so
+    /// constants and initial gate outputs propagate, and generators arm
+    /// their first event.
+    pub fn new(mut netlist: Netlist) -> Self {
+        netlist.finalize();
+        let n_nets = netlist.net_count();
+        let n_comps = netlist.comp_count();
+
+        let mut comp_slot_base = Vec::with_capacity(n_comps + 1);
+        let mut slot_net = Vec::new();
+        comp_slot_base.push(0u32);
+        for comp in &netlist.comps {
+            for out in comp.outputs() {
+                slot_net.push(out);
+            }
+            comp_slot_base.push(slot_net.len() as u32);
+        }
+        let mut external_slot = Vec::with_capacity(n_nets);
+        for i in 0..n_nets {
+            external_slot.push(slot_net.len() as u32);
+            slot_net.push(NetId(i as u32));
+        }
+
+        let mut sim = Simulator {
+            values: vec![Logic::Z; n_nets],
+            slots: vec![Slot::default(); slot_net.len()],
+            external_slot,
+            slot_net,
+            comp_slot_base,
+            queue: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            stats: SimStats::default(),
+            traces: vec![None; n_nets],
+            dirty_nets: Vec::new(),
+            dirty_comps: Vec::new(),
+            comp_dirty_flag: vec![false; n_comps],
+            net_dirty_flag: vec![false; n_nets],
+            netlist,
+        };
+        for s in &mut sim.slots {
+            s.value = Logic::Z;
+        }
+        // Inject generators' initial values (a clock rests at its start
+        // level before its first edge) so downstream state elements see a
+        // definite pre-edge level at t=0.
+        for c in 0..n_comps {
+            if sim.netlist.comps[c].is_generator() {
+                let values = &sim.values;
+                let outs = sim.netlist.comps[c].evaluate(|n| values[n.0 as usize]);
+                for (port, value) in outs {
+                    let slot = sim.comp_slot_base[c] + port as u32;
+                    sim.slots[slot as usize].value = value;
+                    let net = sim.slot_net[slot as usize];
+                    sim.values[net.0 as usize] = sim.resolve_net(net);
+                }
+            }
+        }
+        // Initial evaluation pass at t=0.
+        for c in 0..n_comps {
+            sim.mark_comp_dirty(c as u32);
+        }
+        sim.eval_dirty_comps();
+        // Arm generators.
+        for c in 0..n_comps {
+            if sim.netlist.comps[c].is_generator() {
+                sim.arm_generator(CompId(c as u32));
+            }
+        }
+        sim
+    }
+
+    /// Immutable view of the simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Current simulation time in picoseconds.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Kernel statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Resolved value of a net.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.0 as usize]
+    }
+
+    /// Resolved values of several nets.
+    pub fn values(&self, nets: &[NetId]) -> Vec<Logic> {
+        nets.iter().map(|&n| self.value(n)).collect()
+    }
+
+    /// Start recording transitions on a net (records the current value as a
+    /// first sample).
+    pub fn watch(&mut self, net: NetId) {
+        let t = self.time;
+        let v = self.values[net.0 as usize];
+        self.traces[net.0 as usize].get_or_insert_with(Vec::new).push((t, v));
+    }
+
+    /// Recorded `(time, value)` transitions of a watched net.
+    pub fn trace(&self, net: NetId) -> &[(u64, Logic)] {
+        self.traces[net.0 as usize].as_deref().unwrap_or(&[])
+    }
+
+    /// Drive a net's external slot to `value` at the current time (takes
+    /// effect when the simulation is next advanced). This is how primary
+    /// inputs are stimulated.
+    pub fn drive(&mut self, net: NetId, value: Logic) {
+        self.drive_at(net, value, self.time);
+    }
+
+    /// Drive a net's external slot at an absolute future time.
+    pub fn drive_at(&mut self, net: NetId, value: Logic, time: u64) {
+        assert!(time >= self.time, "cannot schedule in the past");
+        let slot = self.external_slot[net.0 as usize];
+        let key = EventKey { time, seq: self.seq };
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            key,
+            slot,
+            value,
+            version: 0,
+            generator: None,
+            forced: true,
+        }));
+    }
+
+    /// Release a previously driven net back to high impedance.
+    pub fn release(&mut self, net: NetId) {
+        self.drive(net, Logic::Z);
+    }
+
+    /// Advance until `deadline` (inclusive), or until the queue drains.
+    /// `max_events` bounds runaway oscillation.
+    pub fn run_until(&mut self, deadline: u64, max_events: u64) -> Result<(), SimError> {
+        let mut budget = max_events;
+        #[allow(clippy::while_let_loop)] // borrow of queue must end before step
+        loop {
+            let next_time = match self.queue.peek() {
+                Some(Reverse(ev)) => ev.key.time,
+                None => break,
+            };
+            if next_time > deadline {
+                break;
+            }
+            if budget == 0 {
+                return Err(SimError::EventLimit { events: max_events, time: self.time });
+            }
+            let spent = self.step_one_timestamp();
+            budget = budget.saturating_sub(spent);
+        }
+        self.time = self.time.max(deadline);
+        Ok(())
+    }
+
+    /// Run until the event queue is empty (the circuit has settled).
+    /// Returns the settle time. Errors if `max_events` is exceeded —
+    /// the signature oscillation detector for unstable async circuits.
+    pub fn settle(&mut self, max_events: u64) -> Result<u64, SimError> {
+        let mut budget = max_events;
+        while !self.queue.is_empty() {
+            if budget == 0 {
+                return Err(SimError::EventLimit { events: max_events, time: self.time });
+            }
+            let spent = self.step_one_timestamp();
+            budget = budget.saturating_sub(spent);
+        }
+        Ok(self.time)
+    }
+
+    /// Apply every event sharing the earliest timestamp, then re-evaluate
+    /// affected components once. Returns the number of events applied.
+    fn step_one_timestamp(&mut self) -> u64 {
+        let t = match self.queue.peek() {
+            Some(Reverse(ev)) => ev.key.time,
+            None => return 0,
+        };
+        self.time = t;
+        let mut applied = 0u64;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.key.time != t {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let slot = &mut self.slots[ev.slot as usize];
+            if !ev.forced {
+                if ev.version != slot.version {
+                    continue; // cancelled by a later inertial reschedule
+                }
+                slot.pending = None;
+            }
+            applied += 1;
+            self.stats.events += 1;
+            if slot.value != ev.value {
+                slot.value = ev.value;
+                let net = self.slot_net[ev.slot as usize];
+                if !self.net_dirty_flag[net.0 as usize] {
+                    self.net_dirty_flag[net.0 as usize] = true;
+                    self.dirty_nets.push(net.0);
+                }
+            }
+            if let Some(g) = ev.generator {
+                self.arm_generator(g);
+            }
+        }
+        // Recompute resolved values for dirty nets.
+        let dirty_nets = std::mem::take(&mut self.dirty_nets);
+        for n in &dirty_nets {
+            self.net_dirty_flag[*n as usize] = false;
+            let resolved = self.resolve_net(NetId(*n));
+            if resolved != self.values[*n as usize] {
+                self.values[*n as usize] = resolved;
+                self.stats.net_toggles += 1;
+                if let Some(tr) = &mut self.traces[*n as usize] {
+                    tr.push((t, resolved));
+                }
+                for f in 0..self.netlist.nets[*n as usize].fanout.len() {
+                    let cid = self.netlist.nets[*n as usize].fanout[f];
+                    self.mark_comp_dirty(cid.0);
+                }
+            }
+        }
+        self.dirty_nets = dirty_nets;
+        self.dirty_nets.clear();
+        self.eval_dirty_comps();
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        applied.max(1)
+    }
+
+    fn resolve_net(&self, net: NetId) -> Logic {
+        let n = &self.netlist.nets[net.0 as usize];
+        let mut acc = self.slots[self.external_slot[net.0 as usize] as usize].value;
+        for d in &n.drivers {
+            let slot = self.comp_slot_base[d.comp.0 as usize] + d.port as u32;
+            acc = acc.resolve(self.slots[slot as usize].value);
+        }
+        acc
+    }
+
+    fn mark_comp_dirty(&mut self, comp: u32) {
+        if !self.comp_dirty_flag[comp as usize] {
+            self.comp_dirty_flag[comp as usize] = true;
+            self.dirty_comps.push(comp);
+        }
+    }
+
+    fn eval_dirty_comps(&mut self) {
+        let mut dirty = std::mem::take(&mut self.dirty_comps);
+        dirty.sort_unstable();
+        let now = self.time;
+        for c in &dirty {
+            self.comp_dirty_flag[*c as usize] = false;
+            if self.netlist.comps[*c as usize].is_generator() {
+                continue; // generators schedule themselves
+            }
+            self.stats.evals += 1;
+            let values = &self.values;
+            let outputs = self.netlist.comps[*c as usize]
+                .evaluate(|n| values[n.0 as usize]);
+            let delay = self.netlist.delays[*c as usize].max(1);
+            for (port, value) in outputs {
+                let slot = self.comp_slot_base[*c as usize] + port as u32;
+                self.schedule(slot, value, now + delay, None);
+            }
+        }
+        dirty.clear();
+        self.dirty_comps = dirty;
+    }
+
+    fn arm_generator(&mut self, comp: CompId) {
+        let now = self.time;
+        if let Some((t, port, value)) = self.netlist.comps[comp.0 as usize].next_generated(now) {
+            let slot = self.comp_slot_base[comp.0 as usize] + port as u32;
+            let slot_ref = &mut self.slots[slot as usize];
+            slot_ref.version = slot_ref.version.wrapping_add(1);
+            slot_ref.pending = Some((t, value));
+            let key = EventKey { time: t.max(now), seq: self.seq };
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                key,
+                slot,
+                value,
+                version: slot_ref.version,
+                generator: Some(comp),
+                forced: false,
+            }));
+        }
+    }
+
+    /// Single-pending inertial scheduling.
+    fn schedule(&mut self, slot: u32, value: Logic, time: u64, generator: Option<CompId>) {
+        let s = &mut self.slots[slot as usize];
+        match s.pending {
+            Some((_, pv)) if pv == value => return, // already heading there
+            Some(_) => {
+                s.version = s.version.wrapping_add(1); // cancel pending
+                if value == s.value {
+                    s.pending = None;
+                    return; // glitch swallowed
+                }
+            }
+            None => {
+                if value == s.value {
+                    return; // no change
+                }
+                s.version = s.version.wrapping_add(1);
+            }
+        }
+        s.pending = Some((time, value));
+        let key = EventKey { time, seq: self.seq };
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            key,
+            slot,
+            value,
+            version: s.version,
+            generator,
+            forced: false,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Component, DriveMode};
+
+    fn nand2() -> (Netlist, NetId, NetId, NetId) {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        nl.add_comp(Component::Nand { inputs: vec![a, b], output: y }, 10);
+        (nl, a, b, y)
+    }
+
+    #[test]
+    fn nand_settles_truth_table() {
+        for (va, vb, want) in [
+            (Logic::L0, Logic::L0, Logic::L1),
+            (Logic::L0, Logic::L1, Logic::L1),
+            (Logic::L1, Logic::L0, Logic::L1),
+            (Logic::L1, Logic::L1, Logic::L0),
+        ] {
+            let (nl, a, b, y) = nand2();
+            let mut sim = Simulator::new(nl);
+            sim.drive(a, va);
+            sim.drive(b, vb);
+            sim.settle(1000).unwrap();
+            assert_eq!(sim.value(y), want, "NAND({va},{vb})");
+        }
+    }
+
+    #[test]
+    fn inverter_chain_delay_accumulates() {
+        let mut nl = Netlist::new();
+        let mut prev = nl.add_net("n0");
+        let input = prev;
+        for i in 0..4 {
+            let next = nl.add_net(format!("n{}", i + 1));
+            nl.add_comp(Component::Inv { input: prev, output: next }, 7);
+            prev = next;
+        }
+        let out = prev;
+        let mut sim = Simulator::new(nl);
+        sim.drive(input, Logic::L0);
+        sim.settle(1000).unwrap();
+        assert_eq!(sim.value(out), Logic::L0);
+        sim.watch(out);
+        sim.drive(input, Logic::L1);
+        let t0 = sim.time();
+        sim.settle(1000).unwrap();
+        let tr = sim.trace(out);
+        // initial sample + one transition, 4 gates * 7ps after the drive
+        assert_eq!(tr.last().unwrap().1, Logic::L1);
+        assert_eq!(tr.last().unwrap().0, t0 + 4 * 7);
+    }
+
+    #[test]
+    fn inertial_delay_swallows_short_glitch() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        nl.add_comp(Component::Buf { input: a, output: y }, 100);
+        let mut sim = Simulator::new(nl);
+        sim.drive(a, Logic::L0);
+        sim.settle(100).unwrap();
+        sim.watch(y);
+        // 30ps pulse, shorter than the 100ps inertial delay: swallowed.
+        sim.drive_at(a, Logic::L1, 1_000);
+        sim.drive_at(a, Logic::L0, 1_030);
+        sim.settle(1000).unwrap();
+        let toggles: Vec<_> = sim.trace(y).iter().skip(1).collect();
+        assert!(toggles.is_empty(), "glitch should be swallowed, saw {toggles:?}");
+        // 200ps pulse passes.
+        sim.drive_at(a, Logic::L1, 2_000);
+        sim.drive_at(a, Logic::L0, 2_200);
+        sim.settle(1000).unwrap();
+        let toggles: Vec<_> = sim.trace(y).iter().skip(1).collect();
+        assert_eq!(toggles.len(), 2, "full pulse passes: {toggles:?}");
+    }
+
+    /// NAND-gated ring oscillator: stable while `en=0`, oscillates at `en=1`.
+    fn gated_ring(stage_delay: u64) -> (Netlist, NetId, NetId) {
+        let mut nl = Netlist::new();
+        let en = nl.add_net("en");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        nl.add_comp(Component::Nand { inputs: vec![en, c], output: a }, stage_delay);
+        nl.add_comp(Component::Inv { input: a, output: b }, stage_delay);
+        nl.add_comp(Component::Inv { input: b, output: c }, stage_delay);
+        (nl, en, a)
+    }
+
+    #[test]
+    fn ring_oscillator_hits_event_limit() {
+        let (nl, en, _a) = gated_ring(5);
+        let mut sim = Simulator::new(nl);
+        sim.drive(en, Logic::L0);
+        sim.settle(1_000).unwrap();
+        sim.drive(en, Logic::L1);
+        let err = sim.settle(10_000).unwrap_err();
+        assert!(matches!(err, SimError::EventLimit { .. }));
+    }
+
+    #[test]
+    fn ring_oscillator_period_via_run_until() {
+        // 3 stages x 5ps: half-period = 3 * 5 = 15ps.
+        let (nl, en, a) = gated_ring(5);
+        let mut sim = Simulator::new(nl);
+        sim.drive(en, Logic::L0);
+        sim.settle(1_000).unwrap();
+        sim.watch(a);
+        sim.drive(en, Logic::L1);
+        sim.run_until(1_000, 1_000_000).unwrap();
+        let tr = sim.trace(a);
+        let definite: Vec<_> = tr.iter().filter(|(_, v)| v.is_definite()).collect();
+        assert!(definite.len() > 10, "should oscillate: {definite:?}");
+        let periods: Vec<u64> = definite.windows(2).map(|w| w[1].0 - w[0].0).collect();
+        assert!(periods.iter().rev().take(5).all(|&p| p == 15), "{periods:?}");
+    }
+
+    #[test]
+    fn tristate_bus_resolution() {
+        let mut nl = Netlist::new();
+        let d0 = nl.add_net("d0");
+        let d1 = nl.add_net("d1");
+        let e0 = nl.add_net("e0");
+        let e1 = nl.add_net("e1");
+        let bus = nl.add_net("bus");
+        nl.add_comp(
+            Component::TriBuf { input: d0, enable: e0, output: bus, mode: DriveMode::NonInverting },
+            5,
+        );
+        nl.add_comp(
+            Component::TriBuf { input: d1, enable: e1, output: bus, mode: DriveMode::Inverting },
+            5,
+        );
+        let mut sim = Simulator::new(nl);
+        for (n, v) in [(d0, Logic::L1), (d1, Logic::L1), (e0, Logic::L0), (e1, Logic::L0)] {
+            sim.drive(n, v);
+        }
+        sim.settle(1000).unwrap();
+        assert_eq!(sim.value(bus), Logic::Z, "nobody driving");
+        sim.drive(e0, Logic::L1);
+        sim.settle(1000).unwrap();
+        assert_eq!(sim.value(bus), Logic::L1, "driver 0 active");
+        sim.drive(e1, Logic::L1);
+        sim.settle(1000).unwrap();
+        assert_eq!(sim.value(bus), Logic::X, "1 vs inverted 1 = conflict");
+        sim.drive(e0, Logic::L0);
+        sim.settle(1000).unwrap();
+        assert_eq!(sim.value(bus), Logic::L0, "inverting driver alone");
+    }
+
+    #[test]
+    fn clock_generator_toggles() {
+        let mut nl = Netlist::new();
+        let clk = nl.add_net("clk");
+        nl.add_comp(
+            Component::Clock { output: clk, half_period: 50, phase: 10, value: Logic::L0 },
+            1,
+        );
+        let mut sim = Simulator::new(nl);
+        sim.watch(clk);
+        sim.run_until(500, 100_000).unwrap();
+        let tr: Vec<_> = sim.trace(clk).iter().filter(|(_, v)| v.is_definite()).cloned().collect();
+        assert_eq!(tr[0], (0, Logic::L0), "clock rests at its start level");
+        assert_eq!(tr[1], (10, Logic::L1), "first edge at phase");
+        assert_eq!(tr[2], (60, Logic::L0));
+        assert_eq!(tr[3], (110, Logic::L1));
+    }
+
+    #[test]
+    fn stimulus_playback() {
+        let mut nl = Netlist::new();
+        let s = nl.add_net("s");
+        nl.add_comp(
+            Component::Stimulus {
+                output: s,
+                events: vec![(5, Logic::L1), (20, Logic::L0), (21, Logic::L1)],
+                next: 0,
+            },
+            1,
+        );
+        let mut sim = Simulator::new(nl);
+        sim.watch(s);
+        sim.settle(1000).unwrap();
+        let tr: Vec<_> = sim.trace(s).iter().filter(|(_, v)| v.is_definite()).cloned().collect();
+        assert_eq!(tr, vec![(5, Logic::L1), (20, Logic::L0), (21, Logic::L1)]);
+    }
+
+    #[test]
+    fn dff_in_circuit_with_clock() {
+        let mut nl = Netlist::new();
+        let d = nl.add_net("d");
+        let clk = nl.add_net("clk");
+        let q = nl.add_net("q");
+        nl.add_comp(
+            Component::Clock { output: clk, half_period: 100, phase: 100, value: Logic::L0 },
+            1,
+        );
+        nl.add_comp(
+            Component::Dff { d, clk, reset_n: None, q, last_clk: Logic::X, state: Logic::L0 },
+            10,
+        );
+        let mut sim = Simulator::new(nl);
+        sim.drive(d, Logic::L1);
+        sim.run_until(150, 100_000).unwrap();
+        assert_eq!(sim.value(q), Logic::L1, "captured on rising edge at t=100");
+        sim.drive(d, Logic::L0);
+        sim.run_until(250, 100_000).unwrap();
+        assert_eq!(sim.value(q), Logic::L1, "holds through falling edge");
+        sim.run_until(350, 100_000).unwrap();
+        assert_eq!(sim.value(q), Logic::L0, "captures new value at t=300");
+    }
+
+    #[test]
+    fn determinism_identical_traces() {
+        let build = || {
+            let mut nl = Netlist::new();
+            let a = nl.add_net("a");
+            let b = nl.add_net("b");
+            let c = nl.add_net("c");
+            let d = nl.add_net("d");
+            nl.add_comp(Component::Nand { inputs: vec![a, b], output: c }, 7);
+            nl.add_comp(Component::Nand { inputs: vec![c, a], output: d }, 9);
+            nl.add_comp(Component::Clock { output: b, half_period: 13, phase: 3, value: Logic::L0 }, 1);
+            (nl, a, d)
+        };
+        let run = || {
+            let (nl, a, d) = build();
+            let mut sim = Simulator::new(nl);
+            sim.watch(d);
+            sim.drive(a, Logic::L1);
+            sim.run_until(2_000, 1_000_000).unwrap();
+            sim.trace(d).to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,274 @@
+//! Four-valued logic algebra.
+//!
+//! The fabric's NAND planes and tri-state abutment drivers (paper Figs. 5 & 7)
+//! need more than Boolean values: an open-circuit driver contributes `Z`, an
+//! unconfigured or fighting net is `X`. We use the conventional IEEE-1164
+//! subset `{0, 1, X, Z}` with pessimistic (monotone) gate semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// A four-valued logic level.
+///
+/// `X` is "unknown" (uninitialised or driver conflict), `Z` is
+/// "high-impedance" (no driver). Gates treat `Z` inputs as `X` — a floating
+/// gate input is an unknown, as it would be electrically.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Logic {
+    /// Logic low.
+    L0,
+    /// Logic high.
+    L1,
+    /// Unknown / conflict.
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// All four values, for exhaustive enumeration in tests.
+    pub const ALL: [Logic; 4] = [Logic::L0, Logic::L1, Logic::X, Logic::Z];
+
+    /// Convert from a boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::L1
+        } else {
+            Logic::L0
+        }
+    }
+
+    /// `Some(bool)` if the value is a definite 0/1, else `None`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::L0 => Some(false),
+            Logic::L1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// True if the value is a definite logic level (0 or 1).
+    #[inline]
+    pub fn is_definite(self) -> bool {
+        matches!(self, Logic::L0 | Logic::L1)
+    }
+
+    /// Treat a floating input as unknown: `Z → X`, others unchanged.
+    #[inline]
+    pub fn input(self) -> Self {
+        if self == Logic::Z {
+            Logic::X
+        } else {
+            self
+        }
+    }
+
+    /// Logical NOT with pessimistic unknown propagation.
+    ///
+    /// Deliberately named like (but distinct from) `std::ops::Not`: this
+    /// is four-valued logic, not boolean negation.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn not(self) -> Self {
+        match self.input() {
+            Logic::L0 => Logic::L1,
+            Logic::L1 => Logic::L0,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical AND; `0` dominates `X`.
+    #[inline]
+    pub fn and(self, other: Logic) -> Self {
+        match (self.input(), other.input()) {
+            (Logic::L0, _) | (_, Logic::L0) => Logic::L0,
+            (Logic::L1, Logic::L1) => Logic::L1,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical OR; `1` dominates `X`.
+    #[inline]
+    pub fn or(self, other: Logic) -> Self {
+        match (self.input(), other.input()) {
+            (Logic::L1, _) | (_, Logic::L1) => Logic::L1,
+            (Logic::L0, Logic::L0) => Logic::L0,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical XOR; any unknown input yields `X`.
+    #[inline]
+    pub fn xor(self, other: Logic) -> Self {
+        match (self.input(), other.input()) {
+            (Logic::L0, Logic::L0) | (Logic::L1, Logic::L1) => Logic::L0,
+            (Logic::L0, Logic::L1) | (Logic::L1, Logic::L0) => Logic::L1,
+            _ => Logic::X,
+        }
+    }
+
+    /// NAND over an iterator of values. An empty product is `1`
+    /// (vacuous AND), so its NAND is `0`.
+    pub fn nand_all<I: IntoIterator<Item = Logic>>(vals: I) -> Logic {
+        let mut acc = Logic::L1;
+        for v in vals {
+            acc = acc.and(v);
+            if acc == Logic::L0 {
+                return Logic::L1;
+            }
+        }
+        acc.not()
+    }
+
+    /// Wired resolution of two simultaneous drivers (IEEE-1164 style):
+    /// `Z` yields to anything; equal values agree; `0` vs `1` fight to `X`.
+    #[inline]
+    pub fn resolve(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Z, v) | (v, Logic::Z) => v,
+            (a, b) if a == b => a,
+            _ => Logic::X,
+        }
+    }
+
+    /// Single-character display used by the VCD writer and debug dumps.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::L0 => '0',
+            Logic::L1 => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl std::fmt::Display for Logic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Pack a slice of definite logic levels into an integer, bit 0 first.
+///
+/// Returns `None` if any value is `X`/`Z`. Used by the datapath tests to
+/// compare fabric adders against native `u64` arithmetic.
+pub fn to_u64(bits: &[Logic]) -> Option<u64> {
+    let mut acc = 0u64;
+    for (i, b) in bits.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => acc |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(acc)
+}
+
+/// Unpack the low `n` bits of an integer into logic levels, bit 0 first.
+pub fn from_u64(value: u64, n: usize) -> Vec<Logic> {
+    (0..n).map(|i| Logic::from_bool(value >> i & 1 == 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_truth() {
+        assert_eq!(Logic::L0.not(), Logic::L1);
+        assert_eq!(Logic::L1.not(), Logic::L0);
+        assert_eq!(Logic::X.not(), Logic::X);
+        assert_eq!(Logic::Z.not(), Logic::X);
+    }
+
+    #[test]
+    fn and_dominance() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::L0.and(v), Logic::L0, "0 dominates AND");
+        }
+        assert_eq!(Logic::L1.and(Logic::L1), Logic::L1);
+        assert_eq!(Logic::L1.and(Logic::X), Logic::X);
+        assert_eq!(Logic::L1.and(Logic::Z), Logic::X);
+    }
+
+    #[test]
+    fn or_dominance() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::L1.or(v), Logic::L1, "1 dominates OR");
+        }
+        assert_eq!(Logic::L0.or(Logic::L0), Logic::L0);
+        assert_eq!(Logic::L0.or(Logic::X), Logic::X);
+    }
+
+    #[test]
+    fn xor_unknowns() {
+        assert_eq!(Logic::L1.xor(Logic::L0), Logic::L1);
+        assert_eq!(Logic::L1.xor(Logic::L1), Logic::L0);
+        assert_eq!(Logic::X.xor(Logic::L1), Logic::X);
+    }
+
+    #[test]
+    fn and_or_commute() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                assert_eq!(a.xor(b), b.xor(a));
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_on_definites() {
+        for a in [Logic::L0, Logic::L1] {
+            for b in [Logic::L0, Logic::L1] {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn nand_all_empty_is_zero() {
+        assert_eq!(Logic::nand_all([]), Logic::L0);
+        assert_eq!(Logic::nand_all([Logic::L1]), Logic::L0);
+        assert_eq!(Logic::nand_all([Logic::L0, Logic::X]), Logic::L1);
+        assert_eq!(Logic::nand_all([Logic::L1, Logic::X]), Logic::X);
+    }
+
+    #[test]
+    fn resolution_table() {
+        assert_eq!(Logic::Z.resolve(Logic::L1), Logic::L1);
+        assert_eq!(Logic::Z.resolve(Logic::Z), Logic::Z);
+        assert_eq!(Logic::L0.resolve(Logic::L1), Logic::X);
+        assert_eq!(Logic::L1.resolve(Logic::L1), Logic::L1);
+        assert_eq!(Logic::X.resolve(Logic::Z), Logic::X);
+        // resolution is commutative and associative on the lattice
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.resolve(b), b.resolve(a));
+                for c in Logic::ALL {
+                    assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 5, 0xdead_beef, u64::MAX >> 3] {
+            let bits = from_u64(v, 61);
+            assert_eq!(to_u64(&bits), Some(v & ((1 << 61) - 1)));
+        }
+        assert_eq!(to_u64(&[Logic::L1, Logic::X]), None);
+    }
+}

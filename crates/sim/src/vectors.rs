@@ -1,0 +1,155 @@
+//! Test-vector utilities.
+//!
+//! These helpers drive primary inputs through every combination and sample
+//! settled outputs — the machinery used throughout the workspace to prove a
+//! mapped fabric configuration equivalent to its specification truth table.
+
+use crate::engine::{SimError, Simulator};
+use crate::logic::Logic;
+use crate::netlist::{NetId, Netlist};
+
+/// Per-vector event budget used by the exhaustive sweeps.
+pub const VECTOR_EVENT_BUDGET: u64 = 200_000;
+
+/// Apply one input vector and return settled output values.
+///
+/// The simulator is reused across calls so state elements keep their state;
+/// for purely combinational circuits, pass a fresh simulator per vector or
+/// use [`exhaustive_truth`].
+pub fn apply_vector(
+    sim: &mut Simulator,
+    inputs: &[NetId],
+    vector: &[Logic],
+    outputs: &[NetId],
+) -> Result<Vec<Logic>, SimError> {
+    assert_eq!(inputs.len(), vector.len());
+    for (&n, &v) in inputs.iter().zip(vector) {
+        sim.drive(n, v);
+    }
+    sim.settle(VECTOR_EVENT_BUDGET)?;
+    Ok(sim.values(outputs))
+}
+
+/// Exhaustively simulate a combinational netlist over all `2^n` input
+/// combinations (n ≤ 20 enforced) and return, for each output, a bitmask
+/// whose bit `i` is that output's value under input assignment `i`
+/// (input 0 is the least-significant index bit).
+///
+/// Returns `Err` on oscillation, and treats any `X`/`Z` output as a mapping
+/// failure (`Ok(None)` for that output's mask).
+pub fn exhaustive_truth(
+    netlist: &Netlist,
+    inputs: &[NetId],
+    outputs: &[NetId],
+) -> Result<Vec<Option<u64>>, SimError> {
+    let n = inputs.len();
+    assert!(n <= 20, "exhaustive sweep limited to 20 inputs");
+    assert!(n <= 6 || outputs.len() * (1usize << n) < (1 << 26), "sweep too large");
+    // Fast path: pure combinational netlists levelize and evaluate with no
+    // event queue (equivalence to the kernel is pinned by the levelized
+    // module's own tests).
+    if let Ok(mut lev) = crate::levelized::Levelized::new(netlist.clone()) {
+        let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
+        for assignment in 0u64..(1 << n) {
+            let bound: Vec<(NetId, Logic)> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &inp)| (inp, Logic::from_bool(assignment >> i & 1 == 1)))
+                .collect();
+            let values = lev.eval(&bound);
+            for (o, &out) in outputs.iter().enumerate() {
+                match values[out.0 as usize].to_bool() {
+                    Some(true) if n <= 6 => {
+                        if let Some(m) = masks[o].as_mut() {
+                            *m |= 1 << assignment;
+                        }
+                    }
+                    Some(_) => {}
+                    None => masks[o] = None,
+                }
+            }
+        }
+        return Ok(masks);
+    }
+    let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
+    for assignment in 0u64..(1 << n) {
+        // Fresh simulator per vector: combinational circuits have no state,
+        // and a fresh instance makes each vector independent of sweep order.
+        let mut sim = Simulator::new(netlist.clone());
+        for (i, &inp) in inputs.iter().enumerate() {
+            sim.drive(inp, Logic::from_bool(assignment >> i & 1 == 1));
+        }
+        sim.settle(VECTOR_EVENT_BUDGET)?;
+        for (o, &out) in outputs.iter().enumerate() {
+            match sim.value(out).to_bool() {
+                Some(true) if n <= 6 => {
+                    if let Some(m) = masks[o].as_mut() {
+                        *m |= 1 << assignment;
+                    }
+                }
+                Some(true) | Some(false) => {}
+                None => masks[o] = None,
+            }
+        }
+    }
+    Ok(masks)
+}
+
+/// Drive a sequence of `(time, net, value)` stimuli, run to `end_time`, and
+/// return the settled values of `outputs`. Used by sequential tests.
+pub fn run_sequence(
+    sim: &mut Simulator,
+    stimuli: &[(u64, NetId, Logic)],
+    end_time: u64,
+    outputs: &[NetId],
+) -> Result<Vec<Logic>, SimError> {
+    for &(t, n, v) in stimuli {
+        sim.drive_at(n, v, t);
+    }
+    sim.run_until(end_time, 10_000_000)?;
+    Ok(sim.values(outputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn exhaustive_truth_of_and() {
+        let mut b = NetlistBuilder::new();
+        let x = b.net("x");
+        let y = b.net("y");
+        let z = b.and(&[x, y]);
+        let nl = b.build();
+        let masks = exhaustive_truth(&nl, &[x, y], &[z]).unwrap();
+        assert_eq!(masks, vec![Some(0b1000)]); // only assignment 3 (x=1,y=1)
+    }
+
+    #[test]
+    fn exhaustive_truth_three_input_majority() {
+        let mut b = NetlistBuilder::new();
+        let x = b.net("x");
+        let y = b.net("y");
+        let z = b.net("z");
+        let xy = b.and(&[x, y]);
+        let xz = b.and(&[x, z]);
+        let yz = b.and(&[y, z]);
+        let maj = b.or(&[xy, xz, yz]);
+        let nl = b.build();
+        let masks = exhaustive_truth(&nl, &[x, y, z], &[maj]).unwrap();
+        // majority true for assignments 3,5,6,7
+        assert_eq!(masks, vec![Some(0b1110_1000)]);
+    }
+
+    #[test]
+    fn undriven_input_reports_none() {
+        let mut b = NetlistBuilder::new();
+        let x = b.net("x");
+        let y = b.net("y"); // never driven
+        let z = b.and(&[x, y]);
+        let nl = b.build();
+        let masks = exhaustive_truth(&nl, &[x], &[z]).unwrap();
+        assert_eq!(masks, vec![None], "floating input poisons output");
+    }
+}

@@ -1,0 +1,236 @@
+//! Two-level minimisation: Quine–McCluskey with greedy cover selection.
+//!
+//! A block pair natively evaluates a ≤6-term sum-of-products, so the
+//! mapper wants the *smallest* SOP cover of each function. At ≤6 variables
+//! exact prime-implicant generation is trivial; cover selection picks
+//! essential primes first, then greedily by coverage (optimal enough at
+//! this scale, and validated against the input truth table by property
+//! tests).
+
+use crate::truth::TruthTable;
+use serde::{Deserialize, Serialize};
+
+/// A product term (cube) over up to 6 variables: variable `v` appears iff
+/// bit `v` of `care` is set, with the polarity given by bit `v` of `value`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Cube {
+    /// Cared-variable mask.
+    pub care: u8,
+    /// Polarities of cared variables (uncared bits zero).
+    pub value: u8,
+}
+
+impl Cube {
+    /// The full-care cube of a single minterm.
+    pub fn minterm(n: usize, m: u64) -> Self {
+        let care = ((1u16 << n) - 1) as u8;
+        Cube { care, value: (m as u8) & care }
+    }
+
+    /// Does this cube cover minterm `m`?
+    #[inline]
+    pub fn covers(&self, m: u64) -> bool {
+        (m as u8) & self.care == self.value
+    }
+
+    /// Number of literals in the product.
+    pub fn literals(&self) -> u32 {
+        self.care.count_ones()
+    }
+
+    /// Merge two cubes differing in exactly one cared bit.
+    fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.care != other.care {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() == 1 {
+            Some(Cube { care: self.care & !diff, value: self.value & !diff })
+        } else {
+            None
+        }
+    }
+
+    /// The literals as `(variable, positive)` pairs.
+    pub fn literal_list(&self) -> Vec<(usize, bool)> {
+        (0..8)
+            .filter(|v| self.care >> v & 1 == 1)
+            .map(|v| (v, self.value >> v & 1 == 1))
+            .collect()
+    }
+}
+
+/// A sum-of-products cover.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Sop {
+    /// The product terms.
+    pub cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Evaluate the cover on a minterm.
+    pub fn eval(&self, m: u64) -> bool {
+        self.cubes.iter().any(|c| c.covers(m))
+    }
+
+    /// Truth table of the cover.
+    pub fn truth(&self, n: usize) -> TruthTable {
+        TruthTable::from_fn(n, |m| self.eval(m))
+    }
+
+    /// Total literal count.
+    pub fn literals(&self) -> u32 {
+        self.cubes.iter().map(|c| c.literals()).sum()
+    }
+}
+
+/// All prime implicants of `tt` (classic iterated-merging pass).
+pub fn prime_implicants(tt: &TruthTable) -> Vec<Cube> {
+    let n = tt.vars();
+    let mut current: Vec<Cube> = tt.minterms().map(|m| Cube::minterm(n, m)).collect();
+    let mut primes = Vec::new();
+    while !current.is_empty() {
+        let mut merged_flag = vec![false; current.len()];
+        let mut next = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                if let Some(m) = current[i].merge(&current[j]) {
+                    merged_flag[i] = true;
+                    merged_flag[j] = true;
+                    if !next.contains(&m) {
+                        next.push(m);
+                    }
+                }
+            }
+        }
+        for (i, c) in current.iter().enumerate() {
+            if !merged_flag[i] && !primes.contains(c) {
+                primes.push(*c);
+            }
+        }
+        current = next;
+    }
+    primes
+}
+
+/// Minimise `tt` into an SOP cover: essential primes first, then a greedy
+/// maximum-coverage completion. The constant-1 function yields one empty
+/// cube; constant-0 yields no cubes.
+pub fn minimize(tt: &TruthTable) -> Sop {
+    if tt.count_ones() == 0 {
+        return Sop::default();
+    }
+    let primes = prime_implicants(tt);
+    let minterms: Vec<u64> = tt.minterms().collect();
+    let cover_sets: Vec<Vec<usize>> = primes
+        .iter()
+        .map(|p| {
+            minterms
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| p.covers(**m))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut covered = vec![false; minterms.len()];
+    // Essential primes: a minterm covered by exactly one prime.
+    for (mi, _) in minterms.iter().enumerate() {
+        let covering: Vec<usize> = (0..primes.len())
+            .filter(|p| cover_sets[*p].contains(&mi))
+            .collect();
+        if covering.len() == 1 && !chosen.contains(&covering[0]) {
+            chosen.push(covering[0]);
+            for &c in &cover_sets[covering[0]] {
+                covered[c] = true;
+            }
+        }
+    }
+    // Greedy completion: most new minterms, ties by fewest literals.
+    while covered.iter().any(|c| !*c) {
+        let best = (0..primes.len())
+            .filter(|p| !chosen.contains(p))
+            .max_by_key(|p| {
+                let new = cover_sets[*p].iter().filter(|&&m| !covered[m]).count();
+                (new, std::cmp::Reverse(primes[*p].literals()))
+            })
+            .expect("uncovered minterm must have a covering prime");
+        chosen.push(best);
+        for &c in &cover_sets[best] {
+            covered[c] = true;
+        }
+    }
+    Sop { cubes: chosen.into_iter().map(|i| primes[i]).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_constant_functions() {
+        assert!(minimize(&TruthTable::zero(3)).cubes.is_empty());
+        let one = minimize(&TruthTable::one(3));
+        assert_eq!(one.cubes.len(), 1);
+        assert_eq!(one.cubes[0].literals(), 0, "tautology cube");
+    }
+
+    #[test]
+    fn minimize_single_variable() {
+        let sop = minimize(&TruthTable::var(3, 1));
+        assert_eq!(sop.cubes.len(), 1);
+        assert_eq!(sop.cubes[0].literal_list(), vec![(1, true)]);
+    }
+
+    #[test]
+    fn minimize_or_is_two_cubes() {
+        let f = TruthTable::var(2, 0).or(&TruthTable::var(2, 1));
+        let sop = minimize(&f);
+        assert_eq!(sop.cubes.len(), 2);
+        assert_eq!(sop.truth(2), f);
+    }
+
+    #[test]
+    fn xor_needs_2_pow_n_minus_1_cubes() {
+        for n in 2..=4 {
+            let f = TruthTable::parity(n);
+            let sop = minimize(&f);
+            assert_eq!(sop.cubes.len(), 1 << (n - 1), "XOR{n} minimal cover");
+            assert_eq!(sop.truth(n), f);
+        }
+    }
+
+    #[test]
+    fn majority_is_three_cubes_of_two_literals() {
+        let sop = minimize(&TruthTable::majority3());
+        assert_eq!(sop.cubes.len(), 3);
+        assert!(sop.cubes.iter().all(|c| c.literals() == 2));
+    }
+
+    #[test]
+    fn exhaustive_equivalence_3vars() {
+        // Every 3-variable function minimises to an equivalent cover.
+        for bits in 0..256u64 {
+            let f = TruthTable::from_bits(3, bits);
+            let sop = minimize(&f);
+            assert_eq!(sop.truth(3), f, "bits {bits:08b}");
+        }
+    }
+
+    #[test]
+    fn primes_cover_all_minterms() {
+        let f = TruthTable::from_bits(4, 0xBEEF);
+        let primes = prime_implicants(&f);
+        for m in f.minterms() {
+            assert!(primes.iter().any(|p| p.covers(m)));
+        }
+        // and no prime covers a zero
+        for m in 0..16 {
+            if !f.eval(m) {
+                assert!(!primes.iter().any(|p| p.covers(m)));
+            }
+        }
+    }
+}

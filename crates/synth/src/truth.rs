@@ -1,0 +1,196 @@
+//! Truth tables for functions of up to six variables.
+//!
+//! Six is the fabric's natural bound: a block has six input columns, and a
+//! block pair is "the equivalent of a small LUT with 6 inputs, 6 outputs
+//! and 6 product-terms" (paper §4).
+
+use serde::{Deserialize, Serialize};
+
+/// A boolean function of `n ≤ 6` variables, stored as a 2^n-bit mask with
+/// minterm `m`'s value in bit `m` (variable 0 is the least-significant
+/// index bit).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TruthTable {
+    n: u8,
+    bits: u64,
+}
+
+impl TruthTable {
+    /// Build from an explicit bit mask.
+    pub fn from_bits(n: usize, bits: u64) -> Self {
+        assert!(n <= 6, "at most 6 variables");
+        let mask = if n == 6 { u64::MAX } else { (1u64 << (1 << n)) - 1 };
+        TruthTable { n: n as u8, bits: bits & mask }
+    }
+
+    /// Build by evaluating `f` on every minterm.
+    pub fn from_fn(n: usize, mut f: impl FnMut(u64) -> bool) -> Self {
+        assert!(n <= 6);
+        let mut bits = 0u64;
+        for m in 0..(1u64 << n) {
+            if f(m) {
+                bits |= 1 << m;
+            }
+        }
+        TruthTable { n: n as u8, bits }
+    }
+
+    /// Constant-false function.
+    pub fn zero(n: usize) -> Self {
+        Self::from_bits(n, 0)
+    }
+
+    /// Constant-true function.
+    pub fn one(n: usize) -> Self {
+        Self::from_fn(n, |_| true)
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Raw mask.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Value at a minterm.
+    pub fn eval(&self, minterm: u64) -> bool {
+        debug_assert!(minterm < (1 << self.n));
+        self.bits >> minterm & 1 == 1
+    }
+
+    /// Iterator over the true minterms.
+    pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..(1u64 << self.n)).filter(|m| self.eval(*m))
+    }
+
+    /// Number of true minterms.
+    pub fn count_ones(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Complement.
+    pub fn not(&self) -> Self {
+        Self::from_bits(self.vars(), !self.bits)
+    }
+
+    /// Pointwise AND (same arity required).
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n);
+        Self::from_bits(self.vars(), self.bits & other.bits)
+    }
+
+    /// Pointwise OR.
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n);
+        Self::from_bits(self.vars(), self.bits | other.bits)
+    }
+
+    /// Pointwise XOR.
+    pub fn xor(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n);
+        Self::from_bits(self.vars(), self.bits ^ other.bits)
+    }
+
+    /// Shannon cofactor with variable `v` fixed to `value`, returned as a
+    /// function of the remaining `n−1` variables (higher variables shift
+    /// down by one).
+    pub fn cofactor(&self, v: usize, value: bool) -> Self {
+        assert!(v < self.vars());
+        let n = self.vars() - 1;
+        TruthTable::from_fn(n, |m| {
+            let low = m & ((1 << v) - 1);
+            let high = (m >> v) << (v + 1);
+            let full = low | high | ((value as u64) << v);
+            self.eval(full)
+        })
+    }
+
+    /// True if the function actually depends on variable `v`.
+    pub fn depends_on(&self, v: usize) -> bool {
+        self.cofactor(v, false) != self.cofactor(v, true)
+    }
+
+    /// Single-variable projection `f = x_v`.
+    pub fn var(n: usize, v: usize) -> Self {
+        assert!(v < n);
+        Self::from_fn(n, |m| m >> v & 1 == 1)
+    }
+
+    /// n-ary XOR (odd parity).
+    pub fn parity(n: usize) -> Self {
+        Self::from_fn(n, |m| m.count_ones() % 2 == 1)
+    }
+
+    /// Majority of 3 (n must be 3).
+    pub fn majority3() -> Self {
+        Self::from_fn(3, |m| m.count_ones() >= 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_projection() {
+        let t = TruthTable::var(3, 1);
+        for m in 0..8 {
+            assert_eq!(t.eval(m), m >> 1 & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let x = TruthTable::var(2, 0);
+        let y = TruthTable::var(2, 1);
+        assert_eq!(x.and(&y).bits(), 0b1000);
+        assert_eq!(x.or(&y).bits(), 0b1110);
+        assert_eq!(x.xor(&y).bits(), 0b0110);
+        assert_eq!(x.not().bits(), 0b0101);
+    }
+
+    #[test]
+    fn cofactor_recombination() {
+        // Shannon expansion: f = x̄v·f0 ∨ xv·f1
+        let f = TruthTable::from_bits(3, 0b1011_0010);
+        for v in 0..3 {
+            let f0 = f.cofactor(v, false);
+            let f1 = f.cofactor(v, true);
+            let rebuilt = TruthTable::from_fn(3, |m| {
+                let low = m & ((1 << v) - 1);
+                let high = (m >> (v + 1)) << v;
+                let sub = low | high;
+                if m >> v & 1 == 1 {
+                    f1.eval(sub)
+                } else {
+                    f0.eval(sub)
+                }
+            });
+            assert_eq!(rebuilt, f, "var {v}");
+        }
+    }
+
+    #[test]
+    fn depends_on_detects_vacuous_vars() {
+        let f = TruthTable::var(3, 2);
+        assert!(!f.depends_on(0));
+        assert!(!f.depends_on(1));
+        assert!(f.depends_on(2));
+    }
+
+    #[test]
+    fn parity_and_majority() {
+        assert_eq!(TruthTable::parity(2).bits(), 0b0110);
+        assert_eq!(TruthTable::majority3().bits(), 0b1110_1000);
+    }
+
+    #[test]
+    fn six_var_masking() {
+        let t = TruthTable::one(6);
+        assert_eq!(t.bits(), u64::MAX);
+        assert_eq!(t.count_ones(), 64);
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's comparative area/configuration story as a report: the
+//! polymorphic fabric vs the conventional island-style FPGA across the
+//! benchmark suite.
+//!
+//! ```sh
+//! cargo run --example area_report
+//! ```
+
+use polymorphic_hw::fpga::{circuits, pack, pnr, tech_map, FpgaArch, FpgaTiming};
+use polymorphic_hw::prelude::*;
+
+fn main() {
+    let arch = FpgaArch::default();
+    let area = AreaModel::default();
+
+    println!("architecture constants:");
+    println!("  FPGA: {} config bits/tile, {:.0} Kλ²/tile", arch.bits_per_tile(), arch.tile_area_lambda2() / 1e3);
+    println!(
+        "  fabric: 128 config bits/block, {:.0} λ²/block ({:.0} λ²/LUT-pair)",
+        area.block_lambda2(),
+        area.lut_pair_lambda2()
+    );
+    println!(
+        "  function-for-function LUT area ratio: {:.0}x  (paper: ~3 orders of magnitude)",
+        area.lut_area_ratio()
+    );
+
+    println!("\nper-circuit comparison:");
+    println!("{:<20} {:>5} {:>6} {:>10} {:>12} {:>12} {:>7}", "circuit", "CLBs", "waste", "FPGA bits", "FPGA λ²", "fabric λ²", "ratio");
+    for c in circuits::suite() {
+        let design = tech_map(&c.netlist, &c.outputs, 4).expect("maps");
+        let stats = pack(&design);
+        let (_pnr_res, _) = pnr::place_and_route(&design, &FpgaTiming::default());
+        let fpga_bits = stats.clbs * arch.bits_per_tile();
+        // area: one tile per packed CLB (FF-only CLBs occupy tiles too)
+        let fpga_area = stats.clbs as f64 * arch.tile_area_lambda2();
+        let fabric_area = c.pmorph_blocks as f64 * area.block_lambda2();
+        println!(
+            "{:<20} {:>5} {:>5.0}% {:>10} {:>12.2e} {:>12.2e} {:>6.0}x",
+            c.name,
+            stats.clbs,
+            stats.wasted_fraction() * 100.0,
+            fpga_bits,
+            fpga_area,
+            fabric_area,
+            fpga_area / fabric_area
+        );
+    }
+
+    println!("\nscaling (relative frequency vs feature size, §2.1):");
+    println!("  λ_rel   FPGA (O(λ^-1/2))   local fabric (O(λ^-1))");
+    for lam in [1.0, 0.5, 0.25, 0.125] {
+        println!(
+            "  {lam:>5.3}        {:>5.2}x                {:>5.2}x",
+            polymorphic_hw::fabric::delay::fpga_relative_frequency(lam),
+            polymorphic_hw::fabric::delay::local_relative_frequency(lam)
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Paper Figs. 3–6 at the device level: the configurable inverter's
+//! transfer-curve family, the enhanced NAND function set, the tri-state
+//! driver modes, and the multi-stable RTD-RAM configuration cell.
+//!
+//! ```sh
+//! cargo run --example polymorphic_cell
+//! ```
+
+use polymorphic_hw::device::gates::{ConfigurableDriver, DriverMode};
+use polymorphic_hw::prelude::*;
+
+fn main() {
+    // ----------------------------------------------- Fig. 3: VTC family
+    println!("Fig. 3 — configurable inverter transfer curves:");
+    let inv = ConfigurableInverter::default();
+    println!("  VG2 (V) | switching point (V) | behaviour");
+    for vg2 in [-1.5, -0.5, 0.0, 0.5, 1.5] {
+        let th = inv.switching_threshold(vg2);
+        let (lo, hi) = inv.swing(vg2);
+        let behaviour = match th {
+            Some(_) => "active inverter",
+            None if lo > 0.5 => "stuck high (interconnect/off)",
+            None => "stuck low",
+        };
+        match th {
+            Some(t) => println!("   {vg2:+.1}   |        {t:.3}        | {behaviour}"),
+            None => println!("   {vg2:+.1}   |          —          | {behaviour} (swing {lo:.2}–{hi:.2})"),
+        }
+    }
+
+    // ------------------------------------------ Fig. 4: NAND mode table
+    println!("\nFig. 4 — configurable 2-NAND function set:");
+    let nand = ConfigurableNand::default();
+    for (ca, cb) in [
+        (Trit::Zero, Trit::Zero),
+        (Trit::Zero, Trit::Plus),
+        (Trit::Plus, Trit::Zero),
+        (Trit::Minus, Trit::Minus),
+        (Trit::Plus, Trit::Plus),
+    ] {
+        println!("  VG_A={:+}V VG_B={:+}V  ->  {:?}", ca.bias(), cb.bias(), nand.classify(ca, cb));
+    }
+
+    // ------------------------------------------ Fig. 5: driver modes
+    println!("\nFig. 5 — configurable 3-state driver:");
+    let drv = ConfigurableDriver::default();
+    for mode in [DriverMode::NonInverting, DriverMode::Inverting, DriverMode::OpenCircuit, DriverMode::Pass] {
+        let o0 = drv.eval_logic(false, mode).unwrap();
+        let o1 = drv.eval_logic(true, mode).unwrap();
+        let fmt = |o: Option<bool>| match o {
+            Some(true) => "1",
+            Some(false) => "0",
+            None => "Z",
+        };
+        println!("  {mode:?}: in=0 -> {}, in=1 -> {}", fmt(o0), fmt(o1));
+    }
+
+    // ----------------------------------------- Fig. 6: RTD-RAM cell
+    println!("\nFig. 6 — RTD-RAM multi-valued configuration cell:");
+    let mut cell = RtdRamCell::three_state();
+    println!("  {} stable levels:", cell.level_count());
+    for k in 0..cell.level_count() {
+        println!("    level {k}: {:.3} V", cell.level_voltage(k));
+    }
+    for k in [0, 2, 1] {
+        cell.write(k);
+        println!(
+            "  wrote level {k}: read={}  margin={:.0} mV  standby={:.2e} A",
+            cell.read(),
+            cell.noise_margin() * 1e3,
+            cell.standby_current()
+        );
+        assert_eq!(cell.read(), k);
+    }
+    let nine = RtdRamCell::nine_state();
+    println!("  nine-state (Seabaugh) variant offers {} levels", nine.level_count());
+
+    // --------------------------------------------- density & power claims
+    println!("\n§3 claims at the projected node:");
+    let t = Technology::nano_projected();
+    println!("  cell density : {:.2e} cells/cm²  (paper: >1e9)", t.cells_per_cm2());
+    println!(
+        "  config power : {:.1} mW for 1e9 cells  (paper: <100 mW)",
+        t.config_static_power_w(1e9) * 1e3
+    );
+}

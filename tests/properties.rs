@@ -1,0 +1,275 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use polymorphic_hw::pmorph_core::elaborate::elaborate;
+use polymorphic_hw::prelude::*;
+use polymorphic_hw::synth::qm;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quine–McCluskey covers are exactly equivalent to their input.
+    #[test]
+    fn qm_minimization_is_equivalent(bits in any::<u64>(), n in 1usize..=4) {
+        let tt = TruthTable::from_bits(n, bits);
+        let sop = minimize(&tt);
+        prop_assert_eq!(sop.truth(n), tt);
+    }
+
+    /// Prime implicants never cover a zero of the function.
+    #[test]
+    fn primes_are_implicants(bits in any::<u64>(), n in 1usize..=4) {
+        let tt = TruthTable::from_bits(n, bits);
+        for p in qm::prime_implicants(&tt) {
+            for m in 0..(1u64 << n) {
+                if p.covers(m) {
+                    prop_assert!(tt.eval(m), "prime covers a zero");
+                }
+            }
+        }
+    }
+
+    /// Shannon cofactors recombine to the original function.
+    #[test]
+    fn shannon_recombination(bits in any::<u64>(), v in 0usize..3) {
+        let tt = TruthTable::from_bits(3, bits);
+        let f0 = tt.cofactor(v, false);
+        let f1 = tt.cofactor(v, true);
+        for m in 0..8u64 {
+            let low = m & ((1 << v) - 1);
+            let high = (m >> (v + 1)) << v;
+            let sub = low | high;
+            let want = if m >> v & 1 == 1 { f1.eval(sub) } else { f0.eval(sub) };
+            prop_assert_eq!(tt.eval(m), want);
+        }
+    }
+
+    /// Logic resolution forms a commutative, associative join with Z as
+    /// identity (the algebra tri-state lanes rely on).
+    #[test]
+    fn resolution_lattice(a in 0usize..4, b in 0usize..4, c in 0usize..4) {
+        let (a, b, c) = (Logic::ALL[a], Logic::ALL[b], Logic::ALL[c]);
+        prop_assert_eq!(a.resolve(b), b.resolve(a));
+        prop_assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+        prop_assert_eq!(a.resolve(Logic::Z), a);
+        prop_assert_eq!(a.resolve(a), a);
+    }
+}
+
+/// Strategy for an arbitrary (loop-free) block configuration.
+fn arb_block_config() -> impl Strategy<Value = BlockConfig> {
+    (
+        proptest::collection::vec(0u8..3, 36),
+        proptest::collection::vec(0u8..4, 6),
+        proptest::collection::vec(0u8..4, 6),
+        0u8..4,
+        0u8..4,
+        0u8..4,
+    )
+        .prop_map(|(xp, drv, ins, ie, oe, ae)| {
+            let mut cfg = BlockConfig::default();
+            for (i, &t) in xp.iter().enumerate() {
+                cfg.crosspoints[i / 6][i % 6] = match t {
+                    0 => CellMode::StuckOff,
+                    1 => CellMode::Active,
+                    _ => CellMode::StuckOn,
+                };
+            }
+            for (i, &d) in drv.iter().enumerate() {
+                cfg.drivers[i] = match d {
+                    0 => OutMode::Off,
+                    1 => OutMode::Inv,
+                    2 => OutMode::Buf,
+                    _ => OutMode::Pass,
+                };
+                // keep everything feed-forward: edge destinations only
+                cfg.dests[i] = OutputDest::EdgeLane;
+            }
+            for (i, &s) in ins.iter().enumerate() {
+                cfg.inputs[i] = match s {
+                    0..=2 => InputSource::EdgeLane,
+                    _ => InputSource::One,
+                };
+            }
+            let edge = |e: u8| match e {
+                0 => Edge::West,
+                1 => Edge::North,
+                2 => Edge::East,
+                _ => Edge::South,
+            };
+            cfg.input_edge = edge(ie);
+            cfg.output_edge = edge(oe);
+            cfg.alt_edge = edge(ae);
+            if cfg.output_edge == cfg.input_edge {
+                cfg.output_edge = cfg.input_edge.opposite();
+            }
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every block configuration round-trips through its 128-bit image.
+    #[test]
+    fn config_bitstream_round_trip(cfg in arb_block_config()) {
+        let img = cfg.encode();
+        prop_assert_eq!(BlockConfig::decode(&img), Some(cfg));
+    }
+
+    /// The digital block model and the elaborated gate netlist agree on
+    /// every input vector, for arbitrary feed-forward configurations —
+    /// the central correctness property of the fabric.
+    #[test]
+    fn block_eval_matches_elaborated_simulation(
+        cfg in arb_block_config(),
+        inputs in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        let mut fabric = Fabric::new(1, 1);
+        *fabric.block_mut(0, 0) = cfg.clone();
+        let elab = elaborate(&fabric, &FabricTiming::default());
+        let mut sim = Simulator::new(elab.netlist.clone());
+        let mut edge_in = [Logic::X; LANES];
+        for (c, &v) in inputs.iter().enumerate() {
+            edge_in[c] = Logic::from_bool(v);
+            sim.drive(elab.edge_lane(0, 0, cfg.input_edge, c), Logic::from_bool(v));
+        }
+        sim.settle(1_000_000).expect("feed-forward block settles");
+        let model = cfg.eval(&edge_in, &[Logic::Z, Logic::Z]);
+        for t in 0..LANES {
+            if cfg.dests[t] == OutputDest::EdgeLane && cfg.drivers[t] != OutMode::Off {
+                let lane = elab.edge_lane(0, 0, cfg.output_edge, t);
+                // skip lanes that double as inputs (alt/output edge collisions)
+                if cfg.output_edge == cfg.input_edge || cfg.alt_edge == cfg.output_edge {
+                    continue;
+                }
+                prop_assert_eq!(
+                    sim.value(lane),
+                    model.edge_out[t],
+                    "term {} of {:?}", t, cfg
+                );
+            }
+        }
+    }
+
+    /// Fabric bitstreams round-trip for whole arrays.
+    #[test]
+    fn fabric_bitstream_round_trip(
+        cfgs in proptest::collection::vec(arb_block_config(), 6),
+    ) {
+        let mut fabric = Fabric::new(3, 2);
+        for (i, c) in cfgs.into_iter().enumerate() {
+            *fabric.block_mut(i % 3, i / 3) = c;
+        }
+        let restored = Fabric::from_bitstream(&fabric.to_bitstream()).unwrap();
+        prop_assert_eq!(restored, fabric);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hazard repair preserves the function and removes every SIC
+    /// static-1 hazard, for arbitrary 4-variable functions.
+    #[test]
+    fn hazard_free_covers_equivalent_and_clean(bits in any::<u64>()) {
+        use polymorphic_hw::synth::hazard;
+        let tt = TruthTable::from_bits(4, bits);
+        let cover = hazard::hazard_free_cover(&tt);
+        prop_assert_eq!(cover.truth(4), tt);
+        prop_assert!(hazard::is_hazard_free(&tt, &cover));
+    }
+
+    /// Defect maps: behaviour-level `disturbs` is implied by config-level
+    /// inequality on any *fully driven* configuration, and a dormant
+    /// fabric is never disturbed.
+    #[test]
+    fn defect_disturbance_semantics(seed in any::<u64>(), rate in 0.0f64..0.2) {
+        use polymorphic_hw::fabric::faults::DefectMap;
+        let map = DefectMap::sample(3, 3, rate, seed);
+        let dormant = Fabric::new(3, 3);
+        prop_assert!(!map.disturbs(&dormant));
+        // fully used fabric: every term driven
+        let mut used = Fabric::new(3, 3);
+        for y in 0..3 {
+            for x in 0..3 {
+                let b = used.block_mut(x, y);
+                for t in 0..LANES {
+                    b.set_term(t, &[t]);
+                    b.drivers[t] = OutMode::Buf;
+                }
+            }
+        }
+        let applied = map.apply(&used);
+        prop_assert_eq!(map.disturbs(&used), applied != used);
+    }
+
+    /// Trit / cell-mode encodings round-trip.
+    #[test]
+    fn trit_cellmode_roundtrip(t in 0usize..3) {
+        let trit = Trit::ALL[t];
+        prop_assert_eq!(Trit::decode(trit.encode()), Some(trit));
+        prop_assert_eq!(CellMode::from_trit(trit).to_trit(), trit);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The general mapper handles arbitrary 4-variable functions
+    /// (exhaustively checked per sample).
+    #[test]
+    fn general_mapper_arbitrary_4var(bits in any::<u64>()) {
+        use polymorphic_hw::synth::mapk;
+        let tt = TruthTable::from_bits(4, bits);
+        let (w, h) = mapk::fabric_size_for(4);
+        let mut fabric = Fabric::new(w, h);
+        let mapped = mapk::map_function(&mut fabric, &tt).unwrap();
+        let elab = mapped.elaborate(&fabric, &FabricTiming::default());
+        for m in 0..16u64 {
+            let mut sim = Simulator::new(elab.netlist.clone());
+            for (v, ports) in mapped.var_ports.iter().enumerate() {
+                for p in ports {
+                    sim.drive(p.net(&elab), Logic::from_bool(m >> v & 1 == 1));
+                }
+            }
+            sim.settle(2_000_000).unwrap();
+            prop_assert_eq!(
+                sim.value(mapped.output.net(&elab)),
+                Logic::from_bool(tt.eval(m))
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fabric adders of arbitrary small widths compute correct sums.
+    #[test]
+    fn adder_any_width_correct(n in 1usize..=5, a in any::<u64>(), b in any::<u64>(), cin: bool) {
+        let mask = (1u64 << n) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut fabric = Fabric::new(2, 2 * n);
+        let ports = ripple_adder(&mut fabric, 0, 0, n).unwrap();
+        let elab = elaborate(&fabric, &FabricTiming::default());
+        let mut sim = Simulator::new(elab.netlist.clone());
+        for i in 0..n {
+            let av = a >> i & 1 == 1;
+            let bv = b >> i & 1 == 1;
+            sim.drive(ports.a[i].0.net(&elab), Logic::from_bool(av));
+            sim.drive(ports.a[i].1.net(&elab), Logic::from_bool(!av));
+            sim.drive(ports.b[i].0.net(&elab), Logic::from_bool(bv));
+            sim.drive(ports.b[i].1.net(&elab), Logic::from_bool(!bv));
+        }
+        sim.drive(ports.cin.0.net(&elab), Logic::from_bool(cin));
+        sim.drive(ports.cin.1.net(&elab), Logic::from_bool(!cin));
+        sim.settle(50_000_000).unwrap();
+        let mut bits: Vec<Logic> = ports.sum.iter().map(|p| sim.value(p.net(&elab))).collect();
+        bits.push(sim.value(ports.cout.0.net(&elab)));
+        prop_assert_eq!(
+            polymorphic_hw::sim::logic::to_u64(&bits),
+            Some(a + b + cin as u64)
+        );
+    }
+}
