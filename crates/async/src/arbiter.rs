@@ -19,11 +19,10 @@
 //! Both formulas are implemented so the GALS study can budget its
 //! synchronizer depth, plus a stochastic coin for exact ties.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use pmorph_util::rng::Rng;
 
 /// Metastability parameters of an arbiter / synchronizer flop.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct MetastabilityModel {
     /// Regeneration time constant τ (ps).
     pub tau_ps: f64,
@@ -41,7 +40,7 @@ impl Default for MetastabilityModel {
 }
 
 /// Outcome of one arbitration.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Arbitration {
     /// Which request wins (0 or 1).
     pub winner: u8,
@@ -70,10 +69,7 @@ impl MetastabilityModel {
             std::cmp::Ordering::Greater => 1,
             std::cmp::Ordering::Equal => u8::from(rng.random::<bool>()),
         };
-        Arbitration {
-            winner,
-            resolution_ps: self.resolution_time(delta).ceil() as u64,
-        }
+        Arbitration { winner, resolution_ps: self.resolution_time(delta).ceil() as u64 }
     }
 
     /// Synchronizer MTBF (seconds) for a settling budget of `t_r_ps`,
@@ -104,8 +100,7 @@ impl MetastabilityModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pmorph_util::rng::StdRng;
 
     #[test]
     fn closer_requests_resolve_slower() {
@@ -129,9 +124,7 @@ mod tests {
     fn exact_tie_is_fair() {
         let m = MetastabilityModel::default();
         let mut rng = StdRng::seed_from_u64(42);
-        let wins: usize = (0..1000)
-            .map(|_| m.arbitrate(500, 500, &mut rng).winner as usize)
-            .sum();
+        let wins: usize = (0..1000).map(|_| m.arbitrate(500, 500, &mut rng).winner as usize).sum();
         assert!((300..700).contains(&wins), "fair coin: {wins}/1000");
     }
 

@@ -152,12 +152,8 @@ pub fn synth_asm(
     {
         let b = fabric.block_mut(x + 1, y);
         *b = BlockConfig::flowing(Edge::West, Edge::East);
-        for (t, cube) in spec
-            .set_cover
-            .cubes
-            .iter()
-            .chain(spec.reset_cover.cubes.iter())
-            .enumerate()
+        for (t, cube) in
+            spec.set_cover.cubes.iter().chain(spec.reset_cover.cubes.iter()).enumerate()
         {
             let cols: Vec<usize> = cube
                 .literal_list()
@@ -207,8 +203,8 @@ mod tests {
     use super::*;
     use pmorph_core::{elaborate::elaborate, FabricTiming};
     use pmorph_sim::{Logic, Simulator};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmorph_util::rng::Rng;
+    use pmorph_util::rng::StdRng;
 
     const SETTLE: u64 = 5_000_000;
 
@@ -247,9 +243,8 @@ mod tests {
         let elab = elaborate(&fabric, &FabricTiming::default());
         let mut sim = Simulator::new(elab.netlist.clone());
         // initialise into a known state: find a reset input, else drive 0s
-        let reset_input = (0..(1u64 << spec.n_inputs))
-            .find(|&m| spec.reaction(m) == Some(false))
-            .unwrap_or(0);
+        let reset_input =
+            (0..(1u64 << spec.n_inputs)).find(|&m| spec.reaction(m) == Some(false)).unwrap_or(0);
         for (v, p) in ports.inputs.iter().enumerate() {
             sim.drive(p.net(&elab), Logic::from_bool(reset_input >> v & 1 == 1));
         }
@@ -297,10 +292,7 @@ mod tests {
     #[test]
     fn compiled_d_latch_behaves() {
         // (d, en): latch follows d while en=1, holds while en=0
-        check_machine(
-            &d_latch_spec(),
-            &[0b11, 0b01, 0b00, 0b01, 0b11, 0b10, 0b00, 0b10],
-        );
+        check_machine(&d_latch_spec(), &[0b11, 0b01, 0b00, 0b01, 0b11, 0b10, 0b00, 0b10]);
     }
 
     #[test]
@@ -341,7 +333,7 @@ mod tests {
             if (0..4).all(|m| spec.reaction(m).is_none()) {
                 continue;
             }
-            let seq: Vec<u64> = (0..10).map(|_| rng.random_range(0..4)).collect();
+            let seq: Vec<u64> = (0..10).map(|_| rng.random_range(0u64..4)).collect();
             check_machine(&next, &seq);
             tested += 1;
         }

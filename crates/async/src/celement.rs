@@ -164,8 +164,7 @@ mod tests {
         let p = c_element(&mut fabric, 0, 0).unwrap();
         let elab = elaborate(&fabric, &FabricTiming::default());
         let mut sim = Simulator::new(elab.netlist.clone());
-        let (a, b, c, cn) =
-            (p.a.net(&elab), p.b.net(&elab), p.c.net(&elab), p.cn.net(&elab));
+        let (a, b, c, cn) = (p.a.net(&elab), p.b.net(&elab), p.c.net(&elab), p.cn.net(&elab));
         // initialise: both low → output low
         sim.drive(a, Logic::L0);
         sim.drive(b, Logic::L0);
@@ -221,8 +220,8 @@ mod tests {
         // Drive the same random monotonic sequence into the fabric tile
         // and the kernel's behavioural C-element; outputs must agree after
         // every settle.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use pmorph_util::rng::Rng;
+        use pmorph_util::rng::StdRng;
         let mut fabric = Fabric::new(3, 1);
         let p = c_element(&mut fabric, 0, 0).unwrap();
         let elab = elaborate(&fabric, &FabricTiming::default());

@@ -14,10 +14,9 @@
 //! skew-adversarial tests that prove insensitivity.
 
 use pmorph_sim::{Logic, NetId, NetlistBuilder};
-use serde::{Deserialize, Serialize};
 
 /// The two rails of one DI bit.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DualRail {
     /// Asserted when the bit is a valid 1.
     pub t: NetId,
@@ -57,12 +56,7 @@ fn c2(b: &mut NetlistBuilder, x: NetId, y: NetId) -> NetId {
 /// output's `t` or `f` OR-tree. Fully delay-insensitive by construction.
 fn dims2(b: &mut NetlistBuilder, a: DualRail, bb: DualRail, table: [bool; 4]) -> DualRail {
     // detectors for (a, b) = (0,0) (0,1) (1,0) (1,1)
-    let d = [
-        c2(b, a.f, bb.f),
-        c2(b, a.f, bb.t),
-        c2(b, a.t, bb.f),
-        c2(b, a.t, bb.t),
-    ];
+    let d = [c2(b, a.f, bb.f), c2(b, a.f, bb.t), c2(b, a.t, bb.f), c2(b, a.t, bb.t)];
     let mut t_ins = Vec::new();
     let mut f_ins = Vec::new();
     for (i, &out) in table.iter().enumerate() {
@@ -207,8 +201,8 @@ pub fn full_adder(b: &mut NetlistBuilder) -> DualRailAdder {
 mod tests {
     use super::*;
     use pmorph_sim::Simulator;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmorph_util::rng::Rng;
+    use pmorph_util::rng::StdRng;
 
     fn drive_rail(sim: &mut Simulator, dr: DualRail, v: Option<bool>, at: u64) {
         let (t, f) = match v {
@@ -301,7 +295,7 @@ mod tests {
                     // data phase with random per-input skew — the DI
                     // property: any arrival order gives the same answer
                     for (dr, v) in [(fa.a, a), (fa.b, bb), (fa.cin, c)] {
-                        let skew = 100 + rng.random_range(0..500);
+                        let skew = 100 + rng.random_range(0u64..500);
                         drive_rail(&mut sim, dr, Some(v), skew);
                     }
                     sim.settle(1_000_000).unwrap();
@@ -337,10 +331,20 @@ mod tests {
             assert_eq!(sim.value(add.done), Logic::L0);
             // data phase, every bit with independent skew
             for i in 0..n {
-                drive_rail(&mut sim, add.a[i], Some(va >> i & 1 == 1), 100 + rng.random_range(0..400));
-                drive_rail(&mut sim, add.b[i], Some(vb >> i & 1 == 1), 100 + rng.random_range(0..400));
+                drive_rail(
+                    &mut sim,
+                    add.a[i],
+                    Some(va >> i & 1 == 1),
+                    100 + rng.random_range(0u64..400),
+                );
+                drive_rail(
+                    &mut sim,
+                    add.b[i],
+                    Some(vb >> i & 1 == 1),
+                    100 + rng.random_range(0u64..400),
+                );
             }
-            drive_rail(&mut sim, add.cin, Some(false), 100 + rng.random_range(0..400));
+            drive_rail(&mut sim, add.cin, Some(false), 100 + rng.random_range(0u64..400));
             sim.settle(10_000_000).unwrap();
             assert_eq!(sim.value(add.done), Logic::L1, "word completion");
             let mut result = 0u64;

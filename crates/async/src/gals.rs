@@ -65,11 +65,21 @@ impl GalsSystem {
         let clk_a = nl.add_net("clk_a");
         let clk_b = nl.add_net("clk_b");
         nl.add_comp(
-            Component::Clock { output: clk_a, half_period: period_a / 2, phase: 37, value: Logic::L0 },
+            Component::Clock {
+                output: clk_a,
+                half_period: period_a / 2,
+                phase: 37,
+                value: Logic::L0,
+            },
             1,
         );
         nl.add_comp(
-            Component::Clock { output: clk_b, half_period: period_b / 2, phase: 53, value: Logic::L0 },
+            Component::Clock {
+                output: clk_b,
+                half_period: period_b / 2,
+                phase: 53,
+                value: Logic::L0,
+            },
             1,
         );
         // Two-flop synchronizers.
@@ -77,11 +87,25 @@ impl GalsSystem {
             let m = nl.add_net(format!("sync_{tag}_meta"));
             let q = nl.add_net(format!("sync_{tag}"));
             nl.add_comp(
-                Component::Dff { d, clk, reset_n: None, q: m, last_clk: Logic::X, state: Logic::L0 },
+                Component::Dff {
+                    d,
+                    clk,
+                    reset_n: None,
+                    q: m,
+                    last_clk: Logic::X,
+                    state: Logic::L0,
+                },
                 10,
             );
             nl.add_comp(
-                Component::Dff { d: m, clk, reset_n: None, q, last_clk: Logic::X, state: Logic::L0 },
+                Component::Dff {
+                    d: m,
+                    clk,
+                    reset_n: None,
+                    q,
+                    last_clk: Logic::X,
+                    state: Logic::L0,
+                },
                 10,
             );
             q
@@ -131,8 +155,7 @@ impl GalsSystem {
         let edge = Self::next_edge(self.now, self.period_a, 37);
         self.advance_to(edge + Self::MARGIN);
         if let Some(w) = word {
-            let ready =
-                self.sim.value(self.ack_synced_a) == Logic::from_bool(self.req_phase);
+            let ready = self.sim.value(self.ack_synced_a) == Logic::from_bool(self.req_phase);
             if ready {
                 for (i, &d) in self.pipe.data_in.iter().enumerate() {
                     self.sim.drive(d, Logic::from_bool(w >> i & 1 == 1));
@@ -156,12 +179,7 @@ impl GalsSystem {
             return None;
         }
         let word = pmorph_sim::logic::to_u64(
-            &self
-                .pipe
-                .data_out
-                .iter()
-                .map(|&n| self.sim.value(n))
-                .collect::<Vec<_>>(),
+            &self.pipe.data_out.iter().map(|&n| self.sim.value(n)).collect::<Vec<_>>(),
         )?;
         self.ack_phase = !self.ack_phase;
         let phase = self.ack_phase;
@@ -210,12 +228,8 @@ mod tests {
         sim.watch(clk);
         sim.drive(run, Logic::L1);
         sim.run_until(2_000, 10_000_000).unwrap();
-        let edges: Vec<u64> = sim
-            .trace(clk)
-            .iter()
-            .filter(|(_, v)| v.is_definite())
-            .map(|(t, _)| *t)
-            .collect();
+        let edges: Vec<u64> =
+            sim.trace(clk).iter().filter(|(_, v)| v.is_definite()).map(|(t, _)| *t).collect();
         assert!(edges.len() > 10, "oscillates: {} edges", edges.len());
         // pause and verify no runt: last level change completes, then stops
         sim.drive(run, Logic::L0);

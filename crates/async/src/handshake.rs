@@ -38,10 +38,7 @@ pub fn muller_pipeline(n: usize, stage_delay_ps: u64) -> MullerPipeline {
         b.delay_into(prev, delayed, stage_delay_ps);
         let next = if i + 1 < n { ctrl[i + 1] } else { ack_in };
         let nn = b.inv(next);
-        b.comp(
-            Component::CElement { a: delayed, b: nn, output: ctrl[i], state: Logic::L0 },
-            10,
-        );
+        b.comp(Component::CElement { a: delayed, b: nn, output: ctrl[i], state: Logic::L0 }, 10);
     }
     MullerPipeline {
         netlist: b.build(),
@@ -64,10 +61,7 @@ pub struct Violation {
 
 /// Merge two watched traces into an event sequence `(time, which, level)`
 /// with `which` = 0 for req, 1 for ack. Initial samples are skipped.
-fn merge_events(
-    req: &[(u64, Logic)],
-    ack: &[(u64, Logic)],
-) -> Vec<(u64, u8, bool)> {
+fn merge_events(req: &[(u64, Logic)], ack: &[(u64, Logic)]) -> Vec<(u64, u8, bool)> {
     let mut ev: Vec<(u64, u8, bool)> = Vec::new();
     for (which, tr) in [(0u8, req), (1u8, ack)] {
         for w in tr.windows(2) {
@@ -83,10 +77,7 @@ fn merge_events(
 /// Check a two-phase handshake: request and acknowledge *events* must
 /// strictly alternate, request first. Returns the number of completed
 /// tokens.
-pub fn check_two_phase(
-    req: &[(u64, Logic)],
-    ack: &[(u64, Logic)],
-) -> Result<usize, Violation> {
+pub fn check_two_phase(req: &[(u64, Logic)], ack: &[(u64, Logic)]) -> Result<usize, Violation> {
     let ev = merge_events(req, ack);
     let mut expect = 0u8; // 0 = req's turn, 1 = ack's turn
     let mut tokens = 0;
@@ -110,10 +101,7 @@ pub fn check_two_phase(
 
 /// Check a four-phase handshake: the cycle must be
 /// `req↑, ack↑, req↓, ack↓`. Returns completed cycles.
-pub fn check_four_phase(
-    req: &[(u64, Logic)],
-    ack: &[(u64, Logic)],
-) -> Result<usize, Violation> {
+pub fn check_four_phase(req: &[(u64, Logic)], ack: &[(u64, Logic)]) -> Result<usize, Violation> {
     let ev = merge_events(req, ack);
     // phases: 0: expect req↑; 1: expect ack↑; 2: expect req↓; 3: expect ack↓
     let expected: [(u8, bool); 4] = [(0, true), (1, true), (0, false), (1, false)];
@@ -143,10 +131,7 @@ pub fn check_four_phase(
 
 /// Drive `cycles` four-phase handshakes through a Muller pipeline with an
 /// eager consumer, returning the audited cycle count at both ends.
-pub fn run_four_phase(
-    n_stages: usize,
-    cycles: usize,
-) -> Result<(usize, usize), Violation> {
+pub fn run_four_phase(n_stages: usize, cycles: usize) -> Result<(usize, usize), Violation> {
     let p = muller_pipeline(n_stages, 15);
     let mut nl = p.netlist.clone();
     // eager consumer: ack follows req_out after a delay

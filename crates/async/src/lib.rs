@@ -36,5 +36,7 @@ pub use celement::{c_element, c_element_resettable, CElementPorts, CElementRPort
 pub use dualrail::{completion_detector, dims_and, dims_or, dims_xor, dr_not, DualRail};
 pub use ecse::{ecse, EcsePorts};
 pub use gals::{pausible_clock, GalsSystem};
-pub use handshake::{check_four_phase, check_two_phase, muller_pipeline, MullerPipeline, Violation};
+pub use handshake::{
+    check_four_phase, check_two_phase, muller_pipeline, MullerPipeline, Violation,
+};
 pub use micropipeline::{measure_cycle_time, Micropipeline, PipelineHarness};

@@ -69,10 +69,7 @@ pub fn build(
         b.delay_into(prev, delayed, stage_delay_ps);
         let next_ack = if i + 1 < stages { ctrl[i + 1] } else { ack_in };
         let nack = b.inv(next_ack);
-        b.comp(
-            Component::CElement { a: delayed, b: nack, output: ctrl[i], state: Logic::L0 },
-            10,
-        );
+        b.comp(Component::CElement { a: delayed, b: nack, output: ctrl[i], state: Logic::L0 }, 10);
     }
 
     // Data path: ECSE latch per stage per bit; transparent while
@@ -141,12 +138,8 @@ pub fn measure_cycle_time(
     sim.watch(probe);
     let horizon = (stage_delay_ps + source_delay_ps + sink_delay_ps + 100) * 200;
     sim.run_until(horizon, 50_000_000)?;
-    let edges: Vec<u64> = sim
-        .trace(probe)
-        .iter()
-        .filter(|(_, v)| v.is_definite())
-        .map(|(t, _)| *t)
-        .collect();
+    let edges: Vec<u64> =
+        sim.trace(probe).iter().filter(|(_, v)| v.is_definite()).map(|(t, _)| *t).collect();
     assert!(edges.len() >= 8, "ring must run: {} edges", edges.len());
     // steady state: average over the last few full cycles (2 edges/cycle)
     let k = edges.len();
@@ -208,12 +201,7 @@ impl PipelineHarness {
             return None;
         }
         let word = pmorph_sim::logic::to_u64(
-            &self
-                .pipe
-                .data_out
-                .iter()
-                .map(|&n| self.sim.value(n))
-                .collect::<Vec<_>>(),
+            &self.pipe.data_out.iter().map(|&n| self.sim.value(n)).collect::<Vec<_>>(),
         )?;
         self.ack_phase = !self.ack_phase;
         self.sim.drive(self.pipe.ack_in, Logic::from_bool(self.ack_phase));
@@ -282,10 +270,7 @@ mod tests {
         let fast = measure_cycle_time(4, 10, 5, 5).unwrap();
         let slow = measure_cycle_time(4, 40, 5, 5).unwrap();
         assert!(slow > fast, "cycle time follows matched delay: {fast} vs {slow}");
-        assert!(
-            slow < 6 * fast,
-            "but stays roughly proportional: {fast} vs {slow}"
-        );
+        assert!(slow < 6 * fast, "but stays roughly proportional: {fast} vs {slow}");
     }
 
     #[test]
@@ -294,10 +279,7 @@ mod tests {
         let d2 = measure_cycle_time(2, 20, 5, 5).unwrap();
         let d8 = measure_cycle_time(8, 20, 5, 5).unwrap();
         let ratio = d8 as f64 / d2 as f64;
-        assert!(
-            (0.5..2.0).contains(&ratio),
-            "cycle time depth-independent: {d2} vs {d8}"
-        );
+        assert!((0.5..2.0).contains(&ratio), "cycle time depth-independent: {d2} vs {d8}");
     }
 
     #[test]

@@ -4,14 +4,14 @@
 //! 2. router feed-through cost (straight vs lane-shuffled vs detoured),
 //! 3. inertial vs effectively-transport delay in the kernel (glitch-heavy
 //!    workload),
-//! 4. serial vs parallel parameter sweeps (the rayon choice).
+//! 4. serial vs parallel parameter sweeps (the worker-pool choice).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmorph_core::{Edge, Fabric, OutMode};
 use pmorph_device::ConfigurableInverter;
 use pmorph_sim::{Logic, Simulator};
 use pmorph_synth::{lut3, minimize, Router, TruthTable};
-use rayon::prelude::*;
+use pmorph_util::microbench::{BenchmarkId, Criterion};
+use pmorph_util::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 /// Ablation 1: map a 3-input function as a two-level SOP pair vs a chain
@@ -132,7 +132,7 @@ fn ablate_inertial(c: &mut Criterion) {
     group.finish();
 }
 
-/// Ablation 4: the rayon choice — VTC family sweep serial vs parallel.
+/// Ablation 4: the worker-pool choice — VTC family sweep serial vs parallel.
 fn ablate_parallel_sweep(c: &mut Criterion) {
     let inv = ConfigurableInverter::default();
     let biases: Vec<f64> = (0..64).map(|i| -1.5 + 3.0 * i as f64 / 63.0).collect();
@@ -143,20 +143,14 @@ fn ablate_parallel_sweep(c: &mut Criterion) {
             black_box(v)
         })
     });
-    group.bench_function("rayon", |b| {
+    group.bench_function("worker_pool", |b| {
         b.iter(|| {
-            let v: Vec<_> = biases.par_iter().map(|&vg| inv.vtc(vg, 41)).collect();
+            let v = pmorph_util::pool::par_map(&biases, |&vg| inv.vtc(vg, 41));
             black_box(v)
         })
     });
     group.finish();
 }
 
-criterion_group!(
-    ablations,
-    ablate_mapping,
-    ablate_routing,
-    ablate_inertial,
-    ablate_parallel_sweep
-);
+criterion_group!(ablations, ablate_mapping, ablate_routing, ablate_inertial, ablate_parallel_sweep);
 criterion_main!(ablations);

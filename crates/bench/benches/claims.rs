@@ -2,9 +2,10 @@
 //! these measure the *comparison machinery* (FPGA mapper, packer, placer,
 //! router, area models) rather than the fabric itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmorph_core::AreaModel;
 use pmorph_fpga::{circuits, pack, pnr, tech_map, FpgaArch, FpgaTiming};
+use pmorph_util::microbench::{BenchmarkId, Criterion};
+use pmorph_util::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn claim_config_and_area_models(c: &mut Criterion) {
@@ -38,13 +39,9 @@ fn claim_place_route(c: &mut Criterion) {
     let mut group = c.benchmark_group("claims/place_and_route");
     for circuit in circuits::suite() {
         let design = tech_map(&circuit.netlist, &circuit.outputs, 4).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(circuit.name),
-            &design,
-            |b, design| {
-                b.iter(|| black_box(pnr::place_and_route(design, &FpgaTiming::default())))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(circuit.name), &design, |b, design| {
+            b.iter(|| black_box(pnr::place_and_route(design, &FpgaTiming::default())))
+        });
     }
     group.finish();
 }

@@ -2,9 +2,10 @@
 //! sampling, defect-aware remapping, counter/shift-register composition,
 //! and the general Shannon-tree mapper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmorph_core::{DefectMap, Fabric, FabricTiming};
 use pmorph_synth::{mapk, shift_register, Counter, TruthTable};
+use pmorph_util::microbench::{BenchmarkId, Criterion};
+use pmorph_util::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn defect_sampling(c: &mut Criterion) {
@@ -35,8 +36,7 @@ fn shift_register_build(c: &mut Criterion) {
         b.iter(|| {
             let mut fabric = Fabric::new(48, 1);
             let p = shift_register(&mut fabric, 0, 0, 8).unwrap();
-            let elab =
-                pmorph_core::elaborate::elaborate(&fabric, &FabricTiming::default());
+            let elab = pmorph_core::elaborate::elaborate(&fabric, &FabricTiming::default());
             black_box((p.q.len(), elab.netlist.comp_count()))
         })
     });
@@ -57,11 +57,5 @@ fn general_mapper(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    extensions,
-    defect_sampling,
-    counter_tick,
-    shift_register_build,
-    general_mapper
-);
+criterion_group!(extensions, defect_sampling, counter_tick, shift_register_build, general_mapper);
 criterion_main!(extensions);

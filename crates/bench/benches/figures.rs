@@ -2,12 +2,13 @@
 //! the computational kernel that regenerates that figure, so performance
 //! regressions in the reproduction pipeline are visible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmorph_core::elaborate::elaborate;
 use pmorph_core::{Fabric, FabricTiming};
-use pmorph_device::{ConfigurableInverter, ConfigurableNand, RtdRamCell, RtdStack, Rtd, Trit};
+use pmorph_device::{ConfigurableInverter, ConfigurableNand, Rtd, RtdRamCell, RtdStack, Trit};
 use pmorph_sim::{Logic, Simulator};
 use pmorph_synth::{dff, lut3, ripple_adder, TruthTable};
+use pmorph_util::microbench::{BenchmarkId, Criterion};
+use pmorph_util::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn fig3_inverter_vtc(c: &mut Criterion) {

@@ -1,11 +1,12 @@
 //! Criterion benches for the simulation substrate itself: event-kernel
 //! throughput, elaboration speed, and the study pipelines (E15–E18).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pmorph_core::elaborate::elaborate;
 use pmorph_core::{Fabric, FabricTiming};
 use pmorph_device::variation::{run_study, VariationModel};
 use pmorph_sim::{Component, Logic, Netlist, Simulator};
+use pmorph_util::microbench::{BenchmarkId, Criterion, Throughput};
+use pmorph_util::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 /// Event-kernel throughput on a free-running inverter ring.
@@ -18,10 +19,7 @@ fn kernel_event_throughput(c: &mut Criterion) {
         for i in 1..stages {
             nets.push(nl.add_net(format!("n{i}")));
         }
-        nl.add_comp(
-            Component::Nand { inputs: vec![en, nets[stages - 1]], output: nets[0] },
-            5,
-        );
+        nl.add_comp(Component::Nand { inputs: vec![en, nets[stages - 1]], output: nets[0] }, 5);
         for i in 1..stages {
             nl.add_comp(Component::Inv { input: nets[i - 1], output: nets[i] }, 5);
         }
@@ -73,20 +71,14 @@ fn kernel_bitstream(c: &mut Criterion) {
     });
 }
 
-/// E18 study kernel: rayon-parallel Monte-Carlo threshold variation.
+/// E18 study kernel: pool-parallel Monte-Carlo threshold variation.
 fn study_variation_mc(c: &mut Criterion) {
     let mut group = c.benchmark_group("study/variation_mc");
     for samples in [64usize, 256] {
         group.throughput(Throughput::Elements(samples as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(samples),
-            &samples,
-            |b, &samples| {
-                b.iter(|| {
-                    black_box(run_study(VariationModel::doped_bulk(), samples, 1, 0.3, 0.7))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &samples| {
+            b.iter(|| black_box(run_study(VariationModel::doped_bulk(), samples, 1, 0.3, 0.7)))
+        });
     }
     group.finish();
 }

@@ -7,6 +7,7 @@
 //! ```
 
 use pmorph_bench::experiments;
+use pmorph_util::json::ToJson;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,8 +22,12 @@ fn main() {
         }
     }
 
-    println!("polymorphic-hw reproduction — Beckett, \"A Polymorphic Hardware Platform\", IPDPS 2003");
-    println!("===================================================================================\n");
+    println!(
+        "polymorphic-hw reproduction — Beckett, \"A Polymorphic Hardware Platform\", IPDPS 2003"
+    );
+    println!(
+        "===================================================================================\n"
+    );
 
     let all = experiments::run_all();
     let selected: Vec<_> = all
@@ -46,7 +51,7 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&selected).expect("serializes");
+        let json = selected.to_json().to_string_pretty();
         std::fs::write(&path, json).expect("writes");
         println!("results written to {path}");
     }

@@ -1,7 +1,9 @@
 //! E11–E14: the paper's quantitative claims (§2–§5).
 
 use super::Experiment;
-use pmorph_core::delay::{fpga_relative_frequency, global_wire_relative_delay, local_relative_frequency};
+use pmorph_core::delay::{
+    fpga_relative_frequency, global_wire_relative_delay, local_relative_frequency,
+};
 use pmorph_core::AreaModel;
 use pmorph_device::Technology;
 use pmorph_fpga::FpgaArch;
@@ -60,7 +62,8 @@ pub fn claim_density_power() -> Experiment {
     Experiment {
         id: "E13/§3",
         title: "cell density and configuration static power",
-        paper: ">10⁹ cells/cm² at ~50nm RTDs; configuration plane <100 mW (10-50 pA standby per cell)",
+        paper:
+            ">10⁹ cells/cm² at ~50nm RTDs; configuration plane <100 mW (10-50 pA standby per cell)",
         rows: vec![
             format!("density (RTD pitch model):  {density:.2e} cells/cm²"),
             format!("density (λ² area model):    {area_density:.2e} cells/cm²"),

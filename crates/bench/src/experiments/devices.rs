@@ -4,17 +4,15 @@ use super::Experiment;
 use pmorph_device::gates::{ConfigurableDriver, DriverMode};
 use pmorph_device::vtc::InverterBehaviour;
 use pmorph_device::{ConfigurableInverter, ConfigurableNand, NandOutput, RtdRamCell, Trit};
-use rayon::prelude::*;
+use pmorph_util::pool;
 
 /// E1 / Fig. 3: configurable-inverter VTC family. The switching point must
 /// sweep monotonically with V_G2 and stick at the rails at ±1.5 V.
 pub fn fig3_inverter_vtc() -> Experiment {
     let inv = ConfigurableInverter::default();
     let biases = [-1.5, -0.5, 0.0, 0.5, 1.5];
-    let results: Vec<(f64, Option<f64>, InverterBehaviour)> = biases
-        .par_iter()
-        .map(|&vg2| (vg2, inv.switching_threshold(vg2), inv.behaviour(vg2)))
-        .collect();
+    let results: Vec<(f64, Option<f64>, InverterBehaviour)> =
+        pool::par_map(&biases, |&vg2| (vg2, inv.switching_threshold(vg2), inv.behaviour(vg2)));
     let mut rows = Vec::new();
     rows.push("VG2(V)  switch(V)  behaviour".to_string());
     for (vg2, th, beh) in &results {
@@ -104,7 +102,9 @@ pub fn fig6_rtd_ram() -> Experiment {
     rows.push(format!(
         "three-state cell: {} stable levels at {:?} V",
         cell.level_count(),
-        (0..cell.level_count()).map(|k| (cell.level_voltage(k) * 1e3).round() / 1e3).collect::<Vec<_>>()
+        (0..cell.level_count())
+            .map(|k| (cell.level_voltage(k) * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
     ));
     let mut pass = cell.level_count() == 3;
     for k in [0usize, 2, 1, 0] {

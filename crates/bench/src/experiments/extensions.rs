@@ -6,8 +6,8 @@ use pmorph_core::elaborate::elaborate;
 use pmorph_core::{DefectMap, Fabric, FabricTiming, PowerModel};
 use pmorph_sim::{Logic, Simulator};
 use pmorph_synth::{lut3, map_function, mapk, TruthTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmorph_util::rng::Rng;
+use pmorph_util::rng::StdRng;
 
 /// Is a LUT mapping functionally correct on a (possibly faulty) fabric?
 fn lut_works(fabric: &Fabric, ports: &pmorph_synth::LutPorts, tt: &TruthTable) -> bool {
@@ -30,8 +30,12 @@ fn lut_works(fabric: &Fabric, ports: &pmorph_synth::LutPorts, tt: &TruthTable) -
 /// E19: defect tolerance — yield of a fixed-position mapping vs a
 /// defect-aware mapping that relocates to clean rows, across defect rates.
 pub fn study_defects() -> Experiment {
+    study_defects_scaled(40)
+}
+
+/// E19 at an explicit trial count per defect rate (see `experiments::Scale`).
+pub fn study_defects_scaled(trials: usize) -> Experiment {
     let tt = TruthTable::parity(3);
-    let trials = 40;
     let mut rows = vec!["defect rate  naive yield  defect-aware yield".into()];
     let mut pass = true;
     for rate in [0.002f64, 0.01, 0.03] {
@@ -70,11 +74,7 @@ pub fn study_defects() -> Experiment {
         let naive_y = naive_ok as f64 / trials as f64;
         let aware_y = aware_ok as f64 / trials as f64;
         pass &= aware_y >= naive_y;
-        rows.push(format!(
-            "{rate:>10.3}  {:>10.0}%  {:>17.0}%",
-            naive_y * 100.0,
-            aware_y * 100.0
-        ));
+        rows.push(format!("{rate:>10.3}  {:>10.0}%  {:>17.0}%", naive_y * 100.0, aware_y * 100.0));
     }
     // at a bruising defect rate, avoidance must actually win
     let map = DefectMap::sample(4, 6, 0.03, 1);
@@ -193,14 +193,13 @@ pub fn study_delay_crossover() -> Experiment {
         let gain = fpga_ps / fabric_ps;
         pass &= gain >= last_gain; // the advantage must grow as λ shrinks
         last_gain = gain;
-        rows.push(format!(
-            "{lam:<7.3} {fpga_ps:>18.0} {fabric_ps:>22.0} {gain:>16.2}x"
-        ));
+        rows.push(format!("{lam:<7.3} {fpga_ps:>18.0} {fabric_ps:>22.0} {gain:>16.2}x"));
     }
     Experiment {
         id: "E22/§2.1+§4",
         title: "critical-path scaling on a 16-input parity tree",
-        paper: "locally-connected organisations track device speed; segmented FPGA routing does not",
+        paper:
+            "locally-connected organisations track device speed; segmented FPGA routing does not",
         rows,
         pass,
     }
@@ -250,11 +249,15 @@ pub fn study_thermal() -> Experiment {
 /// E21: generality — arbitrary 4–6-variable functions via Shannon trees of
 /// 3-LUT tiles.
 pub fn study_general_mapper() -> Experiment {
+    study_general_mapper_scaled(6)
+}
+
+/// E21 at an explicit function count per width (see `experiments::Scale`).
+pub fn study_general_mapper_scaled(count: usize) -> Experiment {
     let mut rows = vec!["n  functions  correct  tiles  stitches".into()];
     let mut pass = true;
     let mut rng = StdRng::seed_from_u64(0x21);
     for n in [4usize, 5, 6] {
-        let count = 6;
         let mut correct = 0;
         let mut tiles = 0;
         let mut stitches = 0;

@@ -5,8 +5,8 @@ use pmorph_core::elaborate::elaborate;
 use pmorph_core::{BlockConfig, Edge, Fabric, FabricTiming, OutMode, LANES};
 use pmorph_sim::{logic, Logic, Simulator};
 use pmorph_synth::{dff, lut3, ripple_adder, TruthTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmorph_util::rng::Rng;
+use pmorph_util::rng::StdRng;
 
 /// E5 / Fig. 7: the 6×6 NAND block evaluates arbitrary ≤6-term SOPs over
 /// its six inputs, configured by exactly 128 bits.
@@ -41,9 +41,7 @@ pub fn fig7_nand_block() -> Experiment {
         }
     }
     pass &= mismatches == 0;
-    rows.push(format!(
-        "6 random NAND terms × 64 input vectors: {mismatches} mismatches"
-    ));
+    rows.push(format!("6 random NAND terms × 64 input vectors: {mismatches} mismatches"));
     rows.push(format!(
         "configuration: {} bits/block (8×8 two-bit RAM) — paper: 128",
         pmorph_core::config::CONFIG_BITS_PER_BLOCK
@@ -66,16 +64,14 @@ pub fn fig8_array() -> Experiment {
     // checkerboard rotation
     let mut f = Fabric::new(4, 4);
     f.checkerboard_flow();
-    let rotated = (0..4)
-        .flat_map(|y| (0..4).map(move |x| (x, y)))
-        .all(|(x, y)| {
-            let b = f.block(x, y);
-            if (x + y) % 2 == 0 {
-                b.output_edge == Edge::East
-            } else {
-                b.output_edge == Edge::South
-            }
-        });
+    let rotated = (0..4).flat_map(|y| (0..4).map(move |x| (x, y))).all(|(x, y)| {
+        let b = f.block(x, y);
+        if (x + y) % 2 == 0 {
+            b.output_edge == Edge::East
+        } else {
+            b.output_edge == Edge::South
+        }
+    });
     pass &= rotated;
     rows.push(format!("checkerboard 90° rotation applied: {rotated}"));
     // feed-through chain across 8 blocks: delay = hops × block delay
@@ -131,9 +127,7 @@ pub fn fig9_lut_dff() -> Experiment {
     let mut router = pmorph_synth::Router::new();
     router.occupy_all(&lut.footprint);
     router.occupy_all(&ff.footprint);
-    router
-        .route(&mut fabric, lut.output, pmorph_synth::PortLoc { lane: 0, ..ff.d }, &[0])
-        .unwrap();
+    router.route(&mut fabric, lut.output, pmorph_synth::PortLoc { lane: 0, ..ff.d }, &[0]).unwrap();
     rows.push(format!(
         "mapped: 3-LUT (2 cells + polarity) + DFF (5 cells) + 1 interconnect cell; {} active leaf cells",
         fabric.active_cells()
@@ -168,7 +162,8 @@ pub fn fig9_lut_dff() -> Experiment {
     Experiment {
         id: "E7/Fig9",
         title: "3-LUT + edge-triggered D flip-flop pathway",
-        paper: "four NAND cells form 3-LUT + DFF; unneeded FPGA components are simply not instantiated",
+        paper:
+            "four NAND cells form 3-LUT + DFF; unneeded FPGA components are simply not instantiated",
         rows,
         pass,
     }
@@ -183,9 +178,7 @@ pub fn fig10_datapath() -> Experiment {
     let mut f = Fabric::new(2, 2);
     ripple_adder(&mut f, 0, 0, 1).unwrap();
     let live = (0..6)
-        .filter(|t| {
-            f.block(0, 0).crosspoints[*t].contains(&pmorph_core::CellMode::Active)
-        })
+        .filter(|t| f.block(0, 0).crosspoints[*t].contains(&pmorph_core::CellMode::Active))
         .count();
     pass &= live == 5;
     rows.push(format!("product terms per full adder: {live} (paper: five)"));
@@ -241,10 +234,8 @@ pub fn fig10_datapath() -> Experiment {
         sim.settle(50_000_000).unwrap();
         series.push((n, sim.time() - t0));
     }
-    let slopes: Vec<f64> = series
-        .windows(2)
-        .map(|w| (w[1].1 - w[0].1) as f64 / (w[1].0 - w[0].0) as f64)
-        .collect();
+    let slopes: Vec<f64> =
+        series.windows(2).map(|w| (w[1].1 - w[0].1) as f64 / (w[1].0 - w[0].0) as f64).collect();
     let linear = slopes.windows(2).all(|s| (s[0] - s[1]).abs() < 1e-9);
     pass &= linear;
     rows.push(format!("worst-case ripple delay: {series:?} (ps) — linear: {linear}"));
@@ -263,7 +254,8 @@ pub fn fig10_datapath() -> Experiment {
     Experiment {
         id: "E8/Fig10",
         title: "ripple-carry adder + accumulator datapath",
-        paper: "full adder in five terms; one bit per cell pair; ripple carry on adjacent connections",
+        paper:
+            "full adder in five terms; one bit per cell pair; ripple carry on adjacent connections",
         rows,
         pass,
     }

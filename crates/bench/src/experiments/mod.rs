@@ -8,11 +8,11 @@ pub mod fabric_figs;
 pub mod pipelines;
 pub mod studies;
 
-use serde::Serialize;
+use pmorph_util::json::{self, ToJson};
 
 /// Common shape of an experiment result: an id, the paper's expectation,
 /// and rendered rows.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Experiment {
     /// DESIGN.md experiment id (e.g. "E1/Fig3").
     pub id: &'static str,
@@ -26,9 +26,27 @@ pub struct Experiment {
     pub pass: bool,
 }
 
+impl ToJson for Experiment {
+    fn to_json(&self) -> json::Value {
+        let mut obj = json::Value::object();
+        obj.set("id", json::Value::Str(self.id.to_string()))
+            .set("title", json::Value::Str(self.title.to_string()))
+            .set("paper", json::Value::Str(self.paper.to_string()))
+            .set("rows", self.rows.to_json())
+            .set("pass", json::Value::Bool(self.pass));
+        obj
+    }
+}
+
 impl std::fmt::Display for Experiment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "── {} — {} {}", self.id, self.title, if self.pass { "[OK]" } else { "[MISMATCH]" })?;
+        writeln!(
+            f,
+            "── {} — {} {}",
+            self.id,
+            self.title,
+            if self.pass { "[OK]" } else { "[MISMATCH]" }
+        )?;
         writeln!(f, "   paper: {}", self.paper)?;
         for r in &self.rows {
             writeln!(f, "   {r}")?;
@@ -37,9 +55,47 @@ impl std::fmt::Display for Experiment {
     }
 }
 
-/// Run every experiment in index order.
-#[allow(clippy::vec_init_then_push)] // one push per experiment, in index order
+/// Problem sizes for the stochastic experiments.
+///
+/// `full()` matches the committed figures; `fast()` trims Monte-Carlo
+/// counts so the golden regression test exercises every experiment end to
+/// end while staying quick in debug builds. Both run the same code paths
+/// with the same seeds — only the sample counts differ.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Monte-Carlo samples per variation study (E18).
+    pub mc_samples: usize,
+    /// Defect-map trials per defect rate (E19).
+    pub defect_trials: usize,
+    /// Random functions per width in the general-mapper study (E21).
+    pub mapper_funcs: usize,
+}
+
+impl Scale {
+    /// The sizes the committed figures use.
+    pub fn full() -> Self {
+        Scale { mc_samples: 400, defect_trials: 40, mapper_funcs: 6 }
+    }
+
+    /// Reduced sizes for regression testing.
+    pub fn fast() -> Self {
+        Scale { mc_samples: 120, defect_trials: 12, mapper_funcs: 2 }
+    }
+}
+
+/// Run every experiment in index order at full scale.
 pub fn run_all() -> Vec<Experiment> {
+    run_all_with(Scale::full())
+}
+
+/// Run every experiment in index order at reduced (regression-test) scale.
+pub fn run_all_fast() -> Vec<Experiment> {
+    run_all_with(Scale::fast())
+}
+
+/// Run every experiment in index order at the given scale.
+#[allow(clippy::vec_init_then_push)] // one push per experiment, in index order
+pub fn run_all_with(scale: Scale) -> Vec<Experiment> {
     let mut out = Vec::new();
     out.push(devices::fig3_inverter_vtc());
     out.push(devices::fig4_nand_modes());
@@ -58,10 +114,10 @@ pub fn run_all() -> Vec<Experiment> {
     out.push(studies::study_utilization());
     out.push(studies::study_gals());
     out.push(studies::study_bitserial());
-    out.push(studies::study_variation());
-    out.push(extensions::study_defects());
+    out.push(studies::study_variation_scaled(scale.mc_samples));
+    out.push(extensions::study_defects_scaled(scale.defect_trials));
     out.push(extensions::study_clockless_power());
-    out.push(extensions::study_general_mapper());
+    out.push(extensions::study_general_mapper_scaled(scale.mapper_funcs));
     out.push(extensions::study_delay_crossover());
     out.push(extensions::study_thermal());
     out
@@ -85,11 +141,9 @@ mod tests {
 
     #[test]
     fn device_experiments_pass() {
-        for e in [
-            devices::fig3_inverter_vtc(),
-            devices::fig4_nand_modes(),
-            devices::fig5_buffer_modes(),
-        ] {
+        for e in
+            [devices::fig3_inverter_vtc(), devices::fig4_nand_modes(), devices::fig5_buffer_modes()]
+        {
             assert!(e.pass, "{} mismatched:\n{e}", e.id);
         }
     }

@@ -74,13 +74,18 @@ pub fn fig12_ecse() -> Experiment {
     ));
     let elab = elaborate(&fabric, &FabricTiming::default());
     let mut sim = Simulator::new(elab.netlist.clone());
-    let (din, r, a, z) =
-        (p.din.net(&elab), p.req.net(&elab), p.ack.net(&elab), p.z.net(&elab));
+    let (din, r, a, z) = (p.din.net(&elab), p.req.net(&elab), p.ack.net(&elab), p.z.net(&elab));
     for (n, v) in [(din, Logic::L0), (r, Logic::L0), (a, Logic::L0)] {
         sim.drive(n, v);
     }
     sim.settle(5_000_000).unwrap();
-    let step = |sim: &mut Simulator, n, v, expect_z: Logic, what: &str, pass: &mut bool, rows: &mut Vec<String>| {
+    let step = |sim: &mut Simulator,
+                n,
+                v,
+                expect_z: Logic,
+                what: &str,
+                pass: &mut bool,
+                rows: &mut Vec<String>| {
         sim.drive(n, v);
         sim.settle(5_000_000).unwrap();
         let got = sim.value(z);

@@ -12,8 +12,7 @@ use pmorph_synth::serial_vs_parallel;
 pub fn study_utilization() -> Experiment {
     let arch = FpgaArch::default();
     let area = AreaModel::default();
-    let mut rows =
-        vec!["circuit               CLBs  waste   FPGA λ²     fabric λ²   ratio".into()];
+    let mut rows = vec!["circuit               CLBs  waste   FPGA λ²     fabric λ²   ratio".into()];
     let mut pass = true;
     for c in circuits::suite() {
         let d = tech_map(&c.netlist, &c.outputs, 4).expect("maps");
@@ -57,7 +56,8 @@ pub fn study_gals() -> Experiment {
     Experiment {
         id: "E16/§4.1",
         title: "GALS: variable-size synchronous islands over async wrappers",
-        paper: "fine-grained fabric supports arbitrarily-sized GALS modules with async interconnect",
+        paper:
+            "fine-grained fabric supports arbitrarily-sized GALS modules with async interconnect",
         rows,
         pass,
     }
@@ -66,16 +66,13 @@ pub fn study_gals() -> Experiment {
 /// E17 / §4-5: bit-serial vs bit-parallel arithmetic trade-off.
 pub fn study_bitserial() -> Experiment {
     let t = FabricTiming::default();
-    let mut rows =
-        vec!["n     serial blk  parallel blk  serial ps  parallel ps  AT ratio".into()];
+    let mut rows = vec!["n     serial blk  parallel blk  serial ps  parallel ps  AT ratio".into()];
     let mut pass = true;
     let mut last_ratio = f64::INFINITY;
     for n in [4usize, 8, 16, 32, 64] {
         let (sb, pb, st, pt) = serial_vs_parallel(n, &t);
         let at_ratio = (sb as u64 * st) as f64 / (pb as u64 * pt) as f64;
-        rows.push(format!(
-            "{n:<5} {sb:>10} {pb:>13} {st:>10} {pt:>12} {at_ratio:>9.2}"
-        ));
+        rows.push(format!("{n:<5} {sb:>10} {pb:>13} {st:>10} {pt:>12} {at_ratio:>9.2}"));
         // serial always smaller; gets relatively better (AT) as n grows
         pass &= sb < pb || n <= 4;
         pass &= at_ratio <= last_ratio + 1e-9;
@@ -98,8 +95,13 @@ pub fn study_bitserial() -> Experiment {
 
 /// E18 / §3: undoped DG channel kills random-dopant threshold variation.
 pub fn study_variation() -> Experiment {
-    let bulk = run_study(VariationModel::doped_bulk(), 400, 99, 0.42, 0.58);
-    let dg = run_study(VariationModel::undoped_dg(), 400, 99, 0.42, 0.58);
+    study_variation_scaled(400)
+}
+
+/// E18 at an explicit Monte-Carlo sample count (see `experiments::Scale`).
+pub fn study_variation_scaled(samples: usize) -> Experiment {
+    let bulk = run_study(VariationModel::doped_bulk(), samples, 99, 0.42, 0.58);
+    let dg = run_study(VariationModel::undoped_dg(), samples, 99, 0.42, 0.58);
     let pass = dg.sigma_vth < bulk.sigma_vth / 3.0 && dg.failure_rate < bulk.failure_rate;
     Experiment {
         id: "E18/§3",

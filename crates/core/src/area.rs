@@ -14,10 +14,9 @@
 
 use crate::array::Fabric;
 use crate::config::LANES;
-use serde::{Deserialize, Serialize};
 
 /// λ²-rule area model.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct AreaModel {
     /// Feature size λ (nm).
     pub lambda_nm: f64,

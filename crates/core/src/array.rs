@@ -12,13 +12,12 @@
 //! reconfiguring individual blocks.
 
 use crate::config::{BlockConfig, Edge, CONFIG_BYTES_PER_BLOCK};
-use serde::{Deserialize, Serialize};
 
 /// Magic prefix of a serialized fabric bit-stream.
 pub const BITSTREAM_MAGIC: &[u8; 8] = b"PMORPH01";
 
 /// A configured rectangular fabric of NAND blocks.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Fabric {
     width: usize,
     height: usize,
@@ -230,7 +229,10 @@ impl std::fmt::Display for BitstreamError {
                 write!(f, "reserved configuration symbol in block {block}")
             }
             BitstreamError::BadChecksum { expected, got } => {
-                write!(f, "bitstream CRC mismatch: stream says {expected:#010x}, computed {got:#010x}")
+                write!(
+                    f,
+                    "bitstream CRC mismatch: stream says {expected:#010x}, computed {got:#010x}"
+                )
             }
         }
     }

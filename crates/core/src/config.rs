@@ -18,7 +18,6 @@
 //! packed 16-byte image, which is what a configuration bit-stream carries.
 
 use pmorph_device::{CellMode, Trit};
-use serde::{Deserialize, Serialize};
 
 /// Lanes per block edge — also the number of inputs, product terms and
 /// outputs of a block (the paper's 6×6 NAND organisation).
@@ -31,7 +30,7 @@ pub const CONFIG_BITS_PER_BLOCK: usize = 128;
 pub const CONFIG_BYTES_PER_BLOCK: usize = CONFIG_BITS_PER_BLOCK / 8;
 
 /// A block edge / direction of logic flow.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Edge {
     /// −x side.
     #[default]
@@ -78,7 +77,7 @@ impl Edge {
 }
 
 /// Output-driver mode (the Fig. 5 structure, digital view).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum OutMode {
     /// Open circuit: the driver decouples this block from the shared lane.
     #[default]
@@ -112,7 +111,7 @@ impl OutMode {
 }
 
 /// Where an input column takes its value from.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum InputSource {
     /// Lane `c` of the block's input edge (abutted neighbour output).
     #[default]
@@ -153,7 +152,7 @@ impl InputSource {
 /// the block's main output edge or on the *alternate* output edge (used
 /// e.g. by the Fig. 10 datapath, where carries ripple between cell pairs
 /// while sums tap out sideways).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum OutputDest {
     /// Lane `r` of the block's main output edge.
     #[default]
@@ -188,7 +187,7 @@ impl OutputDest {
 }
 
 /// Full configuration of one NAND block — everything its 128-bit RAM holds.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BlockConfig {
     /// `crosspoints[term][column]`: the leaf-cell mode at each of the 36
     /// crosspoints. `Active` includes the column in the term's product,
@@ -238,12 +237,7 @@ impl BlockConfig {
     /// Number of *instantiated* (non-default) leaf cells — the paper's
     /// area argument counts only cells a mapping actually uses.
     pub fn active_cells(&self) -> usize {
-        let xp = self
-            .crosspoints
-            .iter()
-            .flatten()
-            .filter(|m| **m != CellMode::StuckOff)
-            .count();
+        let xp = self.crosspoints.iter().flatten().filter(|m| **m != CellMode::StuckOff).count();
         let dr = self.drivers.iter().filter(|d| **d != OutMode::Off).count();
         xp + dr
     }
@@ -339,7 +333,8 @@ mod tests {
         let mut cfg = BlockConfig::flowing(Edge::North, Edge::South);
         cfg.set_term(0, &[0, 1, 2]);
         cfg.set_term(3, &[4]);
-        cfg.drivers = [OutMode::Inv, OutMode::Buf, OutMode::Off, OutMode::Pass, OutMode::Inv, OutMode::Off];
+        cfg.drivers =
+            [OutMode::Inv, OutMode::Buf, OutMode::Off, OutMode::Pass, OutMode::Inv, OutMode::Off];
         cfg.dests[1] = OutputDest::Lfb0;
         cfg.dests[4] = OutputDest::Lfb1;
         cfg.inputs[5] = InputSource::Lfb1;

@@ -9,10 +9,8 @@
 //! tracking gate delay. We encode both laws so the `claim_scaling` bench
 //! can print the widening gap.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-primitive delays used when elaborating a fabric (picoseconds).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FabricTiming {
     /// Six-input NAND product line.
     pub nand_ps: u64,
@@ -54,7 +52,11 @@ impl FabricTiming {
     /// speed).
     pub fn scaled(&self, lambda_rel: f64) -> FabricTiming {
         let s = |v: u64| ((v as f64 * lambda_rel).round() as u64).max(1);
-        FabricTiming { nand_ps: s(self.nand_ps), driver_ps: s(self.driver_ps), pass_ps: s(self.pass_ps) }
+        FabricTiming {
+            nand_ps: s(self.nand_ps),
+            driver_ps: s(self.driver_ps),
+            pass_ps: s(self.pass_ps),
+        }
     }
 }
 

@@ -86,8 +86,7 @@ impl Elaborated {
         if from == to {
             return; // already the same boundary: direct abutment
         }
-        self.netlist
-            .add_comp(Component::Buf { input: from, output: to }, delay_ps.max(1));
+        self.netlist.add_comp(Component::Buf { input: from, output: to }, delay_ps.max(1));
         self.netlist.finalize();
     }
 
@@ -156,16 +155,15 @@ pub fn elaborate(fabric: &Fabric, timing: &FabricTiming) -> Elaborated {
                 let term_net = elab.netlist.add_net(format!("term_x{x}_y{y}_{t}"));
                 let killed = cfg.crosspoints[t].contains(&CellMode::StuckOff);
                 if killed {
-                    elab.netlist.add_comp(Component::Const { value: Logic::L1, output: term_net }, 1);
+                    elab.netlist
+                        .add_comp(Component::Const { value: Logic::L1, output: term_net }, 1);
                 } else {
                     let inputs: Vec<NetId> = (0..LANES)
                         .filter(|c| cfg.crosspoints[t][*c] == CellMode::Active)
                         .map(|c| col_net[c])
                         .collect();
-                    elab.netlist.add_comp(
-                        Component::Nand { inputs, output: term_net },
-                        timing.nand_ps,
-                    );
+                    elab.netlist
+                        .add_comp(Component::Nand { inputs, output: term_net }, timing.nand_ps);
                 }
                 let dest = match cfg.dests[t] {
                     OutputDest::EdgeLane => elab.edge_lane(x, y, cfg.output_edge, t),
@@ -275,7 +273,11 @@ mod tests {
         let mut sim = Simulator::new(elab.netlist.clone());
         sim.drive(elab.vlane(0, 0, 4), Logic::L1);
         sim.settle(100_000).unwrap();
-        assert_eq!(sim.value(elab.hlane(0, 1, 4)), Logic::L1, "inverted twice? no: NAND(1)=0, Inv→1");
+        assert_eq!(
+            sim.value(elab.hlane(0, 1, 4)),
+            Logic::L1,
+            "inverted twice? no: NAND(1)=0, Inv→1"
+        );
     }
 
     #[test]

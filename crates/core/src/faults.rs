@@ -18,13 +18,12 @@
 use crate::array::Fabric;
 use crate::config::{OutMode, LANES};
 use pmorph_device::CellMode;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use pmorph_util::rng::Rng;
+use pmorph_util::rng::StdRng;
 use std::collections::BTreeSet;
 
 /// One injected defect.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Defect {
     /// Crosspoint `(term, col)` of block `(x, y)` stuck non-conducting.
     CrosspointStuckOff {
@@ -71,7 +70,7 @@ impl Defect {
 }
 
 /// A sampled defect map over a fabric.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DefectMap {
     /// Injected defects, sorted.
     pub defects: BTreeSet<Defect>,
@@ -151,17 +150,13 @@ impl DefectMap {
         self.defects.iter().any(|d| match *d {
             Defect::CrosspointStuckOff { x, y, term, col } => {
                 let b = fabric.block(x, y);
-                b.drivers[term] != OutMode::Off
-                    && b.crosspoints[term][col] != CellMode::StuckOff
+                b.drivers[term] != OutMode::Off && b.crosspoints[term][col] != CellMode::StuckOff
             }
             Defect::CrosspointStuckOn { x, y, term, col } => {
                 let b = fabric.block(x, y);
-                b.drivers[term] != OutMode::Off
-                    && b.crosspoints[term][col] != CellMode::StuckOn
+                b.drivers[term] != OutMode::Off && b.crosspoints[term][col] != CellMode::StuckOn
             }
-            Defect::DriverDead { x, y, term } => {
-                fabric.block(x, y).drivers[term] != OutMode::Off
-            }
+            Defect::DriverDead { x, y, term } => fabric.block(x, y).drivers[term] != OutMode::Off,
         })
     }
 }

@@ -11,10 +11,9 @@
 //! (study E20) reduces to comparing toggle counts at matched work.
 
 use pmorph_sim::{SimStats, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Electrical constants for energy accounting.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct PowerModel {
     /// Switched capacitance per net toggle (F). A leaf-cell output plus
     /// its local lane at the projected node is a few tens of attofarads.
@@ -33,7 +32,7 @@ impl Default for PowerModel {
 }
 
 /// Energy/power breakdown of a simulation interval.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct PowerReport {
     /// Net toggles observed.
     pub toggles: u64,

@@ -14,10 +14,9 @@
 //! every simulation above it.
 
 use crate::vtc::ConfigurableInverter;
-use serde::{Deserialize, Serialize};
 
 /// Load/parasitics assumptions for delay extraction.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct SwitchingModel {
     /// Load capacitance per gate input + local wire (F).
     pub c_load_f: f64,
@@ -65,7 +64,7 @@ impl SwitchingModel {
 
 /// Per-primitive delays extracted from the device models, in the shape the
 /// fabric layer consumes (ps, rounded up, ≥1).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ExtractedTiming {
     /// Six-input NAND product line.
     pub nand_ps: u64,

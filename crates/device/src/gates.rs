@@ -15,14 +15,13 @@
 use crate::leaf::Trit;
 use crate::mosfet::DgMosfet;
 use crate::vtc::ConfigurableInverter;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of VDD below/above which a solved node is called 0/1.
 const LOGIC_LO_FRAC: f64 = 0.15;
 const LOGIC_HI_FRAC: f64 = 0.85;
 
 /// The boolean function a configured 2-NAND realises (paper Fig. 4's table).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum NandOutput {
     /// `(A·B)'` — both inputs active.
     NandAB,
@@ -40,7 +39,7 @@ pub enum NandOutput {
 
 /// Device-level configurable 2-input NAND: series NMOS stack, parallel
 /// PMOS pair, one back-gate bias per input pair.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct ConfigurableNand {
     /// NMOS prototype (both stack devices).
     pub nmos: DgMosfet,
@@ -126,9 +125,8 @@ impl ConfigurableNand {
     /// sweeping all four input combinations (the paper's Fig. 4 table).
     pub fn classify(&self, cfg_a: Trit, cfg_b: Trit) -> NandOutput {
         let mut tt = [false; 4];
-        for (i, (a, b)) in [(false, false), (true, false), (false, true), (true, true)]
-            .into_iter()
-            .enumerate()
+        for (i, (a, b)) in
+            [(false, false), (true, false), (false, true), (true, true)].into_iter().enumerate()
         {
             match self.eval_logic(a, b, cfg_a, cfg_b) {
                 Some(v) => tt[i] = v,
@@ -148,7 +146,7 @@ impl ConfigurableNand {
 
 /// Driver operating modes (paper Fig. 5 plus the pass-transistor case the
 /// text describes for neighbour connections).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum DriverMode {
     /// Output = complement of input (one active stage).
     Inverting,
@@ -162,7 +160,7 @@ pub enum DriverMode {
 }
 
 /// Resolved driver output: a solved voltage or a verified high-impedance.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub enum DriverOut {
     /// Actively driven node voltage (V).
     Voltage(f64),
@@ -173,7 +171,7 @@ pub enum DriverOut {
 /// Device-level model of the Fig. 5 configurable driver: an input stage and
 /// an output stage, each a complementary pair with independent back-gate
 /// biases.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct ConfigurableDriver {
     /// The underlying complementary pair model (both stages identical).
     pub stage: ConfigurableInverter,
@@ -183,10 +181,7 @@ pub struct ConfigurableDriver {
 
 impl Default for ConfigurableDriver {
     fn default() -> Self {
-        ConfigurableDriver {
-            stage: ConfigurableInverter::default(),
-            z_current_threshold: 1e-8,
-        }
+        ConfigurableDriver { stage: ConfigurableInverter::default(), z_current_threshold: 1e-8 }
     }
 }
 

@@ -15,11 +15,10 @@
 
 use crate::gates::{ConfigurableNand, NandOutput};
 use crate::rtd::RtdRamCell;
-use serde::{Deserialize, Serialize};
 
 /// A three-valued configuration symbol, the unit of the fabric's
 /// multi-valued configuration RAM.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Trit {
     /// −2 V back-gate bias: pair disabled.
     Minus,
@@ -67,7 +66,7 @@ impl Trit {
 }
 
 /// Digital behaviour of a configured leaf cell, as consumed by the fabric.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum CellMode {
     /// The cell's input participates in the NAND product.
     #[default]
@@ -103,7 +102,7 @@ impl CellMode {
 }
 
 /// A full leaf cell: RTD-RAM storage plus the complementary pair it biases.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LeafCell {
     /// The multi-valued storage node.
     pub ram: RtdRamCell,

@@ -19,13 +19,11 @@
 //! which is monotone in every terminal voltage — exactly what the nested
 //! bisection solvers in [`crate::vtc`] and [`crate::gates`] need.
 
-use serde::{Deserialize, Serialize};
-
 /// Thermal voltage at 300 K (V).
 pub const PHI_T: f64 = 0.02585;
 
 /// Channel polarity.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Polarity {
     /// Electron channel: conducts when the gate is high relative to source.
     N,
@@ -39,7 +37,7 @@ pub enum Polarity {
 /// internally re-references PMOS devices to their source. Currents are in
 /// amperes with positive current flowing drain→source for NMOS and
 /// source→drain for PMOS.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct DgMosfet {
     /// Channel polarity.
     pub polarity: Polarity,

@@ -19,10 +19,8 @@
 //! anti-symmetric for negative bias. Write dynamics integrate
 //! `C·dV/dt = I_top − I_bot + I_write` with RK4.
 
-use serde::{Deserialize, Serialize};
-
 /// One resonance peak.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Peak {
     /// Peak voltage (V).
     pub vp: f64,
@@ -33,7 +31,7 @@ pub struct Peak {
 }
 
 /// A resonant tunnelling diode.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Rtd {
     /// Resonance peaks, ascending in voltage.
     pub peaks: Vec<Peak>,
@@ -121,7 +119,7 @@ impl Rtd {
 }
 
 /// An equilibrium of the series stack.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Equilibrium {
     /// Storage-node voltage (V).
     pub vn: f64,
@@ -131,7 +129,7 @@ pub struct Equilibrium {
 
 /// Two identical RTDs in series between `vdd` and ground; the node between
 /// them is the storage node.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RtdStack {
     /// The diode model (both devices).
     pub rtd: Rtd,
@@ -239,7 +237,7 @@ impl RtdStack {
 
 /// A complete multi-valued RAM cell: stack + current node state, with
 /// write/read/retention semantics (paper Fig. 6).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RtdRamCell {
     /// The storage stack.
     pub stack: RtdStack,
@@ -288,9 +286,7 @@ impl RtdRamCell {
         self.levels
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - self.vn).abs().partial_cmp(&(b.1 - self.vn).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - self.vn).abs().partial_cmp(&(b.1 - self.vn).abs()).unwrap())
             .map(|(i, _)| i)
             .unwrap()
     }
@@ -372,10 +368,7 @@ mod tests {
         assert_eq!(stable.len(), 3, "states: {stable:?}");
         // symmetric about vdd/2
         assert!((stable[1] - 0.45).abs() < 0.02, "middle state near vdd/2: {stable:?}");
-        assert!(
-            (stable[0] + stable[2] - 0.9).abs() < 0.02,
-            "outer states symmetric: {stable:?}"
-        );
+        assert!((stable[0] + stable[2] - 0.9).abs() < 0.02, "outer states symmetric: {stable:?}");
     }
 
     #[test]

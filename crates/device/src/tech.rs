@@ -10,10 +10,8 @@
 //! cell pitch from the RTD mesa size, cells/cm² from pitch, configuration
 //! plane power from per-cell RTD standby current.
 
-use serde::{Deserialize, Serialize};
-
 /// Technology parameters at one scaling node.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Technology {
     /// Half-pitch / feature size λ (nm).
     pub lambda_nm: f64,

@@ -16,7 +16,6 @@
 use crate::mosfet::DgMosfet;
 use crate::rtd::Rtd;
 use crate::vtc::ConfigurableInverter;
-use serde::{Deserialize, Serialize};
 
 /// Boltzmann / charge: φt per kelvin (V/K).
 pub const PHI_T_PER_K: f64 = 8.617e-5;
@@ -29,7 +28,7 @@ pub const DVT_DT: f64 = 1.0e-3;
 pub const RTD_VALLEY_TC: f64 = 0.02;
 
 /// A temperature-adjusted device corner.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct ThermalCorner {
     /// Absolute temperature (K).
     pub temperature_k: f64,
@@ -71,10 +70,7 @@ impl ThermalCorner {
     /// exponentially with temperature, eroding the PVR.
     pub fn rtd(&self, base: &Rtd) -> Rtd {
         let dt = self.temperature_k - T_REF;
-        Rtd {
-            excess_i0: base.excess_i0 * (RTD_VALLEY_TC * dt).exp(),
-            ..base.clone()
-        }
+        Rtd { excess_i0: base.excess_i0 * (RTD_VALLEY_TC * dt).exp(), ..base.clone() }
     }
 }
 
@@ -124,10 +120,7 @@ mod tests {
         assert_eq!(warm_states.len(), 3, "3 states at 350K: {warm_states:?}");
         let scorching = ThermalCorner { temperature_k: 600.0 }.rtd(&base);
         let hot_states = RtdStack::new(scorching, 0.9).stable_states();
-        assert!(
-            hot_states.len() < 3,
-            "NDR washed out at 600K: {hot_states:?}"
-        );
+        assert!(hot_states.len() < 3, "NDR washed out at 600K: {hot_states:?}");
     }
 
     #[test]

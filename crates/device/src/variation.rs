@@ -10,17 +10,15 @@
 //! only the (much smaller) body-thickness term. The study samples inverter
 //! pairs, solves each sample's switching threshold with the real VTC
 //! solver, and reports the distribution plus a noise-margin failure rate —
-//! `rayon`-parallel across samples, deterministically seeded.
+//! worker-pool-parallel across samples, deterministically seeded.
 
 use crate::mosfet::DgMosfet;
 use crate::vtc::ConfigurableInverter;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use pmorph_util::pool;
+use pmorph_util::rng::{mix_seed, Rng, StdRng};
 
 /// Variation model for one technology flavour.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct VariationModel {
     /// Random-dopant-fluctuation σ(V_T) component (V).
     pub sigma_rdf: f64,
@@ -50,7 +48,7 @@ impl VariationModel {
 }
 
 /// Result of a Monte-Carlo run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VariationStudy {
     /// Samples drawn.
     pub samples: usize,
@@ -63,19 +61,12 @@ pub struct VariationStudy {
     pub failure_rate: f64,
 }
 
-/// Standard-normal sample via Box–Muller (keeps the dependency set to the
-/// approved `rand` core).
-fn std_normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 /// Run the Monte-Carlo: sample `samples` inverters with per-device V_T0
 /// drawn from the variation model, solve each switching threshold, and
 /// score against the noise-margin window `[lo_frac, hi_frac]·VDD`.
 ///
-/// Deterministic: sample `i` uses seed `seed ⊕ i`.
+/// Deterministic: sample `i` draws from `mix_seed(seed, i)`, so results
+/// are bit-identical at any worker count (including serial).
 pub fn run_study(
     model: VariationModel,
     samples: usize,
@@ -85,20 +76,17 @@ pub fn run_study(
 ) -> VariationStudy {
     let nominal = ConfigurableInverter::default();
     let sigma = model.sigma_total();
-    let thresholds: Vec<Option<f64>> = (0..samples)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let dvt_n = sigma * std_normal(&mut rng);
-            let dvt_p = sigma * std_normal(&mut rng);
-            let inv = ConfigurableInverter {
-                nmos: DgMosfet { vt0: nominal.nmos.vt0 + dvt_n, ..nominal.nmos },
-                pmos: DgMosfet { vt0: nominal.pmos.vt0 + dvt_p, ..nominal.pmos },
-                vdd: nominal.vdd,
-            };
-            inv.switching_threshold(0.0)
-        })
-        .collect();
+    let thresholds: Vec<Option<f64>> = pool::par_map_range(samples, |i| {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, i as u64));
+        let dvt_n = sigma * rng.std_normal();
+        let dvt_p = sigma * rng.std_normal();
+        let inv = ConfigurableInverter {
+            nmos: DgMosfet { vt0: nominal.nmos.vt0 + dvt_n, ..nominal.nmos },
+            pmos: DgMosfet { vt0: nominal.pmos.vt0 + dvt_p, ..nominal.pmos },
+            vdd: nominal.vdd,
+        };
+        inv.switching_threshold(0.0)
+    });
 
     let ok: Vec<f64> = thresholds.iter().filter_map(|t| *t).collect();
     let failures = thresholds

@@ -9,10 +9,9 @@
 //! the monotone current-balance equation.
 
 use crate::mosfet::DgMosfet;
-use serde::{Deserialize, Serialize};
 
 /// One sample of a voltage transfer curve.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct VtcPoint {
     /// Input voltage (V).
     pub vin: f64,
@@ -21,7 +20,7 @@ pub struct VtcPoint {
 }
 
 /// Static behaviour classification of a configured inverter.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum InverterBehaviour {
     /// Output switches through the supply midpoint: a working inverter.
     Active,
@@ -32,7 +31,7 @@ pub enum InverterBehaviour {
 }
 
 /// A complementary DG pair with a shared back-gate configuration voltage.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct ConfigurableInverter {
     /// Pull-down device.
     pub nmos: DgMosfet,
@@ -63,8 +62,7 @@ impl ConfigurableInverter {
     /// `V_out`.
     pub fn solve_vout_biased(&self, vin: f64, vg_n: f64, vg_p: f64) -> f64 {
         let f = |vout: f64| {
-            self.nmos.current(vin, 0.0, vout, vg_n)
-                - self.pmos.current(vin, self.vdd, vout, vg_p)
+            self.nmos.current(vin, 0.0, vout, vg_n) - self.pmos.current(vin, self.vdd, vout, vg_p)
         };
         let (mut lo, mut hi) = (0.0, self.vdd);
         // f(0) ≤ 0 (no NMOS current, PMOS sourcing), f(VDD) ≥ 0.
@@ -187,9 +185,7 @@ impl ConfigurableInverter {
     /// Peak small-signal gain over the input range — the regeneration
     /// figure the paper's §1 worries nano-devices may lack ("low gain").
     pub fn peak_gain(&self, vg2: f64) -> f64 {
-        (0..=200)
-            .map(|k| self.gain(self.vdd * k as f64 / 200.0, vg2))
-            .fold(0.0, f64::max)
+        (0..=200).map(|k| self.gain(self.vdd * k as f64 / 200.0, vg2)).fold(0.0, f64::max)
     }
 }
 

@@ -8,10 +8,8 @@
 //! the routing switches" [1], [24]). This module implements exactly that
 //! accounting so the comparison benches work from the same arithmetic.
 
-use serde::{Deserialize, Serialize};
-
 /// Architecture parameters of the baseline island-style FPGA.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct FpgaArch {
     /// LUT input count (K).
     pub lut_k: usize,
@@ -81,10 +79,7 @@ mod tests {
     fn bits_per_tile_is_several_hundred() {
         let a = FpgaArch::default();
         let bits = a.bits_per_tile();
-        assert!(
-            (200..=800).contains(&bits),
-            "paper says 'several hundred', model gives {bits}"
-        );
+        assert!((200..=800).contains(&bits), "paper says 'several hundred', model gives {bits}");
     }
 
     #[test]

@@ -123,12 +123,7 @@ pub fn registered_pipeline(stages: usize) -> Circuit {
 
 /// The full benchmark suite at representative sizes.
 pub fn suite() -> Vec<Circuit> {
-    vec![
-        ripple_adder_gates(8),
-        shift_register(16),
-        parity_tree(16),
-        registered_pipeline(4),
-    ]
+    vec![ripple_adder_gates(8), shift_register(16), parity_tree(16), registered_pipeline(4)]
 }
 
 #[cfg(test)]

@@ -9,10 +9,9 @@
 //! "unused components still exist" point can be shown on a concrete cell.
 
 use pmorph_sim::Logic;
-use serde::{Deserialize, Serialize};
 
 /// Output-mux selection (Fig. 1's M2): combinational or registered.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum OutputSel {
     /// Drive the LUT output.
     #[default]
@@ -22,7 +21,7 @@ pub enum OutputSel {
 }
 
 /// D-input selection (M1): LUT output or the direct-in pin.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum DinSel {
     /// Register the LUT output.
     #[default]
@@ -32,7 +31,7 @@ pub enum DinSel {
 }
 
 /// Configuration of one CLB: 16 LUT bits + mux/FF controls.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub struct ClbConfig {
     /// LUT truth table (bit `i` = output for input minterm `i`).
     pub lut: u16,
@@ -75,7 +74,7 @@ impl ClbConfig {
 }
 
 /// Runtime state of a CLB instance.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Clb {
     /// Configuration image.
     pub config: ClbConfig,
@@ -107,9 +106,8 @@ impl Clb {
 
     /// LUT output for the present inputs.
     pub fn lut_out(&self, inputs: &ClbInputs) -> bool {
-        let idx = inputs.f.iter().enumerate().fold(0usize, |acc, (i, &b)| {
-            acc | ((b as usize) << i)
-        });
+        let idx =
+            inputs.f.iter().enumerate().fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
         self.config.lut >> idx & 1 == 1
     }
 

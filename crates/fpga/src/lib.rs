@@ -24,7 +24,7 @@ pub mod mapper;
 pub mod pnr;
 
 pub use arch::FpgaArch;
-pub use clb::{Clb, ClbConfig, ClbInputs};
 pub use circuits::{parity_tree, registered_pipeline, ripple_adder_gates, shift_register, Circuit};
+pub use clb::{Clb, ClbConfig, ClbInputs};
 pub use mapper::{pack, tech_map, verify_mapping, FpgaMapError, Lut, MappedDesign, PackStats};
 pub use pnr::{critical_path_ps, place, place_and_route, route, FpgaTiming, PnrResult};

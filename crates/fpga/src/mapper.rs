@@ -9,11 +9,10 @@
 //! idle).
 
 use pmorph_sim::{Component, Logic, NetId, Netlist};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A mapped K-LUT.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Lut {
     /// Leaf nets (≤ K), LSB-first in the truth table.
     pub inputs: Vec<NetId>,
@@ -24,7 +23,7 @@ pub struct Lut {
 }
 
 /// A mapped flip-flop.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MappedFf {
     /// Data net.
     pub d: NetId,
@@ -33,7 +32,7 @@ pub struct MappedFf {
 }
 
 /// Complete mapping result.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MappedDesign {
     /// LUTs, in reverse-topological discovery order.
     pub luts: Vec<Lut>,
@@ -46,7 +45,7 @@ pub struct MappedDesign {
 }
 
 /// CLB packing statistics for the utilisation study.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PackStats {
     /// CLBs instantiated.
     pub clbs: usize,
@@ -279,14 +278,9 @@ pub fn pack(design: &MappedDesign) -> PackStats {
 
 /// Verify a mapped design against the original netlist on `vectors`
 /// random input assignments (combinational designs only).
-pub fn verify_mapping(
-    netlist: &Netlist,
-    design: &MappedDesign,
-    seed: u64,
-    vectors: usize,
-) -> bool {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+pub fn verify_mapping(netlist: &Netlist, design: &MappedDesign, seed: u64, vectors: usize) -> bool {
+    use pmorph_util::rng::Rng;
+    use pmorph_util::rng::StdRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let lut_by_out: HashMap<NetId, &Lut> = design.luts.iter().map(|l| (l.output, l)).collect();
 
@@ -417,8 +411,8 @@ mod tests {
 
     #[test]
     fn random_nand_networks_map_correctly() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use pmorph_util::rng::Rng;
+        use pmorph_util::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(33);
         for trial in 0..10 {
             let mut b = NetlistBuilder::new();

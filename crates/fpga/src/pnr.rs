@@ -12,11 +12,10 @@
 use crate::arch::FpgaArch;
 use crate::mapper::MappedDesign;
 use pmorph_sim::NetId;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Placement + routing result.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PnrResult {
     /// Grid side (tiles).
     pub grid: usize,
@@ -31,7 +30,7 @@ pub struct PnrResult {
 }
 
 /// Timing parameters at the reference node.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct FpgaTiming {
     /// LUT + local mux delay (ps).
     pub lut_ps: f64,
@@ -157,11 +156,7 @@ fn bfs_path(
 }
 
 /// Longest combinational path delay of a routed design (ps).
-pub fn critical_path_ps(
-    design: &MappedDesign,
-    pnr: &PnrResult,
-    timing: &FpgaTiming,
-) -> f64 {
+pub fn critical_path_ps(design: &MappedDesign, pnr: &PnrResult, timing: &FpgaTiming) -> f64 {
     let by_out: HashMap<NetId, usize> =
         design.luts.iter().enumerate().map(|(i, l)| (l.output, i)).collect();
     let mut memo: HashMap<usize, f64> = HashMap::new();
@@ -184,13 +179,11 @@ pub fn critical_path_ps(
                 let src = pnr.placement.get(&inp.0);
                 let dst = pnr.placement.get(&lut.output.0);
                 let dist = match (src, dst) {
-                    (Some(&(sx, sy)), Some(&(dx, dy))) => {
-                        sx.abs_diff(dx) + sy.abs_diff(dy)
-                    }
+                    (Some(&(sx, sy)), Some(&(dx, dy))) => sx.abs_diff(dx) + sy.abs_diff(dy),
                     _ => 1,
                 };
-                let t = arrival(j, design, by_out, pnr, timing, memo)
-                    + dist as f64 * timing.segment_ps;
+                let t =
+                    arrival(j, design, by_out, pnr, timing, memo) + dist as f64 * timing.segment_ps;
                 worst = worst.max(t);
             }
         }
@@ -208,10 +201,7 @@ pub fn critical_path_ps(
 }
 
 /// One-call flow: place, route, and report `(pnr, critical path ps)`.
-pub fn place_and_route(
-    design: &MappedDesign,
-    timing: &FpgaTiming,
-) -> (PnrResult, f64) {
+pub fn place_and_route(design: &MappedDesign, timing: &FpgaTiming) -> (PnrResult, f64) {
     let mut pnr = place(design);
     route(design, &mut pnr);
     let cp = critical_path_ps(design, &pnr, timing);

@@ -61,10 +61,8 @@ impl NetlistBuilder {
 
     /// N-input NAND into an existing net.
     pub fn nand_into(&mut self, inputs: &[NetId], output: NetId) -> CompId {
-        self.netlist.add_comp(
-            Component::Nand { inputs: inputs.to_vec(), output },
-            self.default_delay,
-        )
+        self.netlist
+            .add_comp(Component::Nand { inputs: inputs.to_vec(), output }, self.default_delay)
     }
 
     /// N-input AND into a fresh net.
@@ -117,8 +115,7 @@ impl NetlistBuilder {
         output: NetId,
         mode: DriveMode,
     ) -> CompId {
-        self.netlist
-            .add_comp(Component::TriBuf { input, enable, output, mode }, self.default_delay)
+        self.netlist.add_comp(Component::TriBuf { input, enable, output, mode }, self.default_delay)
     }
 
     /// Constant driver onto an existing net.
@@ -129,10 +126,8 @@ impl NetlistBuilder {
     /// Behavioural Muller C-element into a fresh net.
     pub fn celement(&mut self, a: NetId, b: NetId) -> NetId {
         let output = self.anon_net();
-        self.netlist.add_comp(
-            Component::CElement { a, b, output, state: Logic::L0 },
-            self.default_delay,
-        );
+        self.netlist
+            .add_comp(Component::CElement { a, b, output, state: Logic::L0 }, self.default_delay);
         output
     }
 
@@ -146,16 +141,12 @@ impl NetlistBuilder {
 
     /// Behavioural transparent-high latch.
     pub fn latch(&mut self, d: NetId, en: NetId, q: NetId) -> CompId {
-        self.netlist
-            .add_comp(Component::Latch { d, en, q, state: Logic::L0 }, self.default_delay)
+        self.netlist.add_comp(Component::Latch { d, en, q, state: Logic::L0 }, self.default_delay)
     }
 
     /// Free-running clock.
     pub fn clock(&mut self, output: NetId, half_period: u64, phase: u64) -> CompId {
-        self.netlist.add_comp(
-            Component::Clock { output, half_period, phase, value: Logic::L0 },
-            1,
-        )
+        self.netlist.add_comp(Component::Clock { output, half_period, phase, value: Logic::L0 }, 1)
     }
 
     /// Waveform player; `events` must have strictly increasing times.

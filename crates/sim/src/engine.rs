@@ -391,8 +391,7 @@ impl Simulator {
             }
             self.stats.evals += 1;
             let values = &self.values;
-            let outputs = self.netlist.comps[*c as usize]
-                .evaluate(|n| values[n.0 as usize]);
+            let outputs = self.netlist.comps[*c as usize].evaluate(|n| values[n.0 as usize]);
             let delay = self.netlist.delays[*c as usize].max(1);
             for (port, value) in outputs {
                 let slot = self.comp_slot_base[*c as usize] + port as u32;
@@ -682,7 +681,10 @@ mod tests {
             let d = nl.add_net("d");
             nl.add_comp(Component::Nand { inputs: vec![a, b], output: c }, 7);
             nl.add_comp(Component::Nand { inputs: vec![c, a], output: d }, 9);
-            nl.add_comp(Component::Clock { output: b, half_period: 13, phase: 3, value: Logic::L0 }, 1);
+            nl.add_comp(
+                Component::Clock { output: b, half_period: 13, phase: 3, value: Logic::L0 },
+                1,
+            );
             (nl, a, d)
         };
         let run = || {

@@ -80,8 +80,7 @@ impl Levelized {
                 .filter(|inp| !netlist.nets[inp.0 as usize].drivers.is_empty())
                 .count();
         }
-        let mut ready: Vec<u32> =
-            (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut ready: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < ready.len() {
@@ -139,8 +138,8 @@ mod tests {
     use super::*;
     use crate::builder::NetlistBuilder;
     use crate::engine::Simulator;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmorph_util::rng::Rng;
+    use pmorph_util::rng::StdRng;
 
     #[test]
     fn matches_event_driven_kernel_on_random_dags() {
@@ -204,10 +203,7 @@ mod tests {
         let clk = b.net("clk");
         let q = b.net("q");
         b.dff(d, clk, None, q);
-        assert!(matches!(
-            Levelized::new(b.build()),
-            Err(LevelizeError::NotCombinational(_))
-        ));
+        assert!(matches!(Levelized::new(b.build()), Err(LevelizeError::NotCombinational(_))));
     }
 
     #[test]
@@ -217,9 +213,6 @@ mod tests {
         let y = b.net("y");
         b.inv_into(a, y);
         b.inv_into(a, y);
-        assert!(matches!(
-            Levelized::new(b.build()),
-            Err(LevelizeError::MultipleDrivers(_))
-        ));
+        assert!(matches!(Levelized::new(b.build()), Err(LevelizeError::MultipleDrivers(_))));
     }
 }

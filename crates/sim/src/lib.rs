@@ -33,6 +33,6 @@ pub mod vectors;
 
 pub use builder::NetlistBuilder;
 pub use engine::{SimError, SimStats, Simulator};
-pub use levelized::{Levelized, LevelizeError};
+pub use levelized::{LevelizeError, Levelized};
 pub use logic::Logic;
 pub use netlist::{CompId, Component, DriveMode, NetId, Netlist, PortRef};

@@ -5,14 +5,12 @@
 //! unconfigured or fighting net is `X`. We use the conventional IEEE-1164
 //! subset `{0, 1, X, Z}` with pessimistic (monotone) gate semantics.
 
-use serde::{Deserialize, Serialize};
-
 /// A four-valued logic level.
 ///
 /// `X` is "unknown" (uninitialised or driver conflict), `Z` is
 /// "high-impedance" (no driver). Gates treat `Z` inputs as `X` — a floating
 /// gate input is an unknown, as it would be electrically.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Logic {
     /// Logic low.
     L0,

@@ -27,11 +27,7 @@ pub fn definite_edges(trace: &[(u64, Logic)]) -> Vec<(u64, bool)> {
 
 /// Rising-edge timestamps.
 pub fn rising_edges(trace: &[(u64, Logic)]) -> Vec<u64> {
-    definite_edges(trace)
-        .into_iter()
-        .filter(|(_, b)| *b)
-        .map(|(t, _)| t)
-        .collect()
+    definite_edges(trace).into_iter().filter(|(_, b)| *b).map(|(t, _)| t).collect()
 }
 
 /// Steady-state period (ps): the mean spacing of the last `window` rising

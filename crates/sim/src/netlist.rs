@@ -7,18 +7,17 @@
 //! free, per the HPC guidance this project follows.
 
 use crate::logic::Logic;
-use serde::{Deserialize, Serialize};
 
 /// Index of a net (wire) in a [`Netlist`].
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct NetId(pub u32);
 
 /// Index of a component in a [`Netlist`].
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct CompId(pub u32);
 
 /// A driver endpoint: output port `port` of component `comp`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct PortRef {
     /// Driving component.
     pub comp: CompId,
@@ -27,7 +26,7 @@ pub struct PortRef {
 }
 
 /// Tri-state driver mode, mirroring the paper's Fig. 5 configurable buffer.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum DriveMode {
     /// Output follows the input.
     NonInverting,
@@ -40,7 +39,7 @@ pub enum DriveMode {
 /// Multi-input gates own their input net lists; state-holding components
 /// (flip-flops, latches, C-elements, mutexes) carry their state inline so a
 /// `Netlist` clone is an independent, resettable circuit.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Component {
     /// N-input NAND — the fabric's native gate (paper Fig. 7).
     Nand { inputs: Vec<NetId>, output: NetId },
@@ -58,66 +57,29 @@ pub enum Component {
     Buf { input: NetId, output: NetId },
     /// Tri-state driver: when `enable` is high the output follows `mode`;
     /// when low it contributes `Z`. Models the abutment driver of Fig. 5.
-    TriBuf {
-        input: NetId,
-        enable: NetId,
-        output: NetId,
-        mode: DriveMode,
-    },
+    TriBuf { input: NetId, enable: NetId, output: NetId, mode: DriveMode },
     /// Constant driver.
     Const { value: Logic, output: NetId },
     /// Behavioural Muller C-element: output goes high when both inputs are
     /// high, low when both are low, otherwise holds (paper §4.1).
-    CElement {
-        a: NetId,
-        b: NetId,
-        output: NetId,
-        state: Logic,
-    },
+    CElement { a: NetId, b: NetId, output: NetId, state: Logic },
     /// Behavioural rising-edge D flip-flop with optional active-low reset;
     /// used as the *reference* model that fabric-mapped flip-flops are
     /// checked against.
-    Dff {
-        d: NetId,
-        clk: NetId,
-        reset_n: Option<NetId>,
-        q: NetId,
-        last_clk: Logic,
-        state: Logic,
-    },
+    Dff { d: NetId, clk: NetId, reset_n: Option<NetId>, q: NetId, last_clk: Logic, state: Logic },
     /// Behavioural transparent latch (level-sensitive, transparent high).
-    Latch {
-        d: NetId,
-        en: NetId,
-        q: NetId,
-        state: Logic,
-    },
+    Latch { d: NetId, en: NetId, q: NetId, state: Logic },
     /// Free-running clock generator: first edge at `phase`, half-period
     /// `half_period`, starting from `L0`.
-    Clock {
-        output: NetId,
-        half_period: u64,
-        phase: u64,
-        value: Logic,
-    },
+    Clock { output: NetId, half_period: u64, phase: u64, value: Logic },
     /// Plays back an explicit waveform `(time, value)`; times must be
     /// strictly increasing.
-    Stimulus {
-        output: NetId,
-        events: Vec<(u64, Logic)>,
-        next: usize,
-    },
+    Stimulus { output: NetId, events: Vec<(u64, Logic)>, next: usize },
     /// Two-way mutual-exclusion element (asynchronous arbiter). Grants at
     /// most one of `g1`/`g2`; requests arriving strictly earlier win, exact
     /// ties go to `r1` (a deterministic stand-in for metastability
     /// resolution — see `pmorph-async::arbiter` for the stochastic model).
-    Mutex {
-        r1: NetId,
-        r2: NetId,
-        g1: NetId,
-        g2: NetId,
-        owner: u8,
-    },
+    Mutex { r1: NetId, r2: NetId, g1: NetId, g2: NetId, owner: u8 },
 }
 
 impl Component {
@@ -269,11 +231,7 @@ impl Component {
                 // Value most recently played; before the first event the
                 // output is X (undriven stimulus is unknown, not Z, to make
                 // forgotten initialisation loudly visible).
-                let v = if *next == 0 {
-                    Logic::X
-                } else {
-                    events[*next - 1].1
-                };
+                let v = if *next == 0 { Logic::X } else { events[*next - 1].1 };
                 vec![(0, v)]
             }
             Component::Mutex { r1, r2, g1: _, g2: _, owner } => {
@@ -290,10 +248,7 @@ impl Component {
                         *owner = 2;
                     }
                 }
-                vec![
-                    (0, Logic::from_bool(*owner == 1)),
-                    (1, Logic::from_bool(*owner == 2)),
-                ]
+                vec![(0, Logic::from_bool(*owner == 1)), (1, Logic::from_bool(*owner == 2))]
             }
         }
     }
@@ -303,11 +258,7 @@ impl Component {
     pub fn next_generated(&mut self, now: u64) -> Option<(u64, u8, Logic)> {
         match self {
             Component::Clock { half_period, phase, value, .. } => {
-                let t = if now < *phase {
-                    *phase
-                } else {
-                    now + *half_period
-                };
+                let t = if now < *phase { *phase } else { now + *half_period };
                 *value = if *value == Logic::L1 { Logic::L0 } else { Logic::L1 };
                 Some((t, 0, *value))
             }
@@ -326,7 +277,7 @@ impl Component {
 }
 
 /// A named net plus its structural connectivity (filled by `finalize`).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Net {
     /// Human-readable name (used in traces and VCD output).
     pub name: String,
@@ -337,7 +288,7 @@ pub struct Net {
 }
 
 /// A complete circuit: nets, components and per-component delays.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Netlist {
     /// All nets.
     pub nets: Vec<Net>,
@@ -384,10 +335,7 @@ impl Netlist {
 
     /// Find a net by exact name (first match).
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.nets
-            .iter()
-            .position(|n| n.name == name)
-            .map(|i| NetId(i as u32))
+        self.nets.iter().position(|n| n.name == name).map(|i| NetId(i as u32))
     }
 
     /// Rebuild fanout and driver lists. Idempotent; called automatically by
@@ -403,9 +351,7 @@ impl Netlist {
                 self.nets[n.0 as usize].fanout.push(cid);
             }
             for (p, n) in comp.outputs().into_iter().enumerate() {
-                self.nets[n.0 as usize]
-                    .drivers
-                    .push(PortRef { comp: cid, port: p as u8 });
+                self.nets[n.0 as usize].drivers.push(PortRef { comp: cid, port: p as u8 });
             }
         }
         for net in &mut self.nets {
@@ -461,12 +407,8 @@ mod tests {
 
     #[test]
     fn celement_holds_state() {
-        let mut c = Component::CElement {
-            a: NetId(0),
-            b: NetId(1),
-            output: NetId(2),
-            state: Logic::L0,
-        };
+        let mut c =
+            Component::CElement { a: NetId(0), b: NetId(1), output: NetId(2), state: Logic::L0 };
         let vals = [Logic::L1, Logic::L0];
         let out = c.evaluate(|n| vals[n.0 as usize]);
         assert_eq!(out, vec![(0, Logic::L0)], "mixed inputs hold");
@@ -504,13 +446,8 @@ mod tests {
 
     #[test]
     fn mutex_first_wins_and_releases() {
-        let mut m = Component::Mutex {
-            r1: NetId(0),
-            r2: NetId(1),
-            g1: NetId(2),
-            g2: NetId(3),
-            owner: 0,
-        };
+        let mut m =
+            Component::Mutex { r1: NetId(0), r2: NetId(1), g1: NetId(2), g2: NetId(3), owner: 0 };
         let out = m.evaluate(|n| [Logic::L1, Logic::L1][n.0 as usize]);
         assert_eq!(out, vec![(0, Logic::L1), (1, Logic::L0)], "tie goes to r1");
         let out = m.evaluate(|n| [Logic::L0, Logic::L1][n.0 as usize]);

@@ -50,10 +50,8 @@ pub fn analyze(netlist: &Netlist) -> (TimingReport, bool) {
     // Sources: undriven nets and outputs of non-combinational components
     // start at t = 0.
     for (i, net) in nl.nets.iter().enumerate() {
-        let comb_driven = net
-            .drivers
-            .iter()
-            .any(|d| is_combinational(&nl.comps[d.comp.0 as usize]));
+        let comb_driven =
+            net.drivers.iter().any(|d| is_combinational(&nl.comps[d.comp.0 as usize]));
         if !comb_driven {
             arrival[i] = Some((0, None));
         }

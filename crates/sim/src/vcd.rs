@@ -64,9 +64,7 @@ fn ident_code(mut i: usize) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_whitespace() { '_' } else { c })
-        .collect()
+    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
 }
 
 #[cfg(test)]

@@ -74,12 +74,7 @@ impl Accumulator {
             elab.stitch(q, a, return_delay);
             elab.stitch(qn, an, return_delay);
         }
-        let b = self
-            .adder
-            .b
-            .iter()
-            .map(|(p, n)| (p.net(&elab), n.net(&elab)))
-            .collect();
+        let b = self.adder.b.iter().map(|(p, n)| (p.net(&elab), n.net(&elab))).collect();
         let clk = self.regs.iter().map(|r| r.clk.net(&elab)).collect();
         let reset_n = self.regs.iter().map(|r| r.reset_n.net(&elab)).collect();
         let q = self.regs.iter().map(|r| r.q.net(&elab)).collect();
@@ -168,8 +163,8 @@ mod tests {
 
     #[test]
     fn eight_bit_accumulator_random_walk() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use pmorph_util::rng::Rng;
+        use pmorph_util::rng::StdRng;
         let acc = Accumulator::build(8).unwrap();
         let mut sim = acc.elaborate(&FabricTiming::default());
         sim.reset();

@@ -83,10 +83,7 @@ pub fn ripple_adder(
         n,
         a: Vec::new(),
         b: Vec::new(),
-        cin: (
-            PortLoc::new(x, y, Edge::North, LANE_C),
-            PortLoc::new(x, y, Edge::North, LANE_CN),
-        ),
+        cin: (PortLoc::new(x, y, Edge::North, LANE_C), PortLoc::new(x, y, Edge::North, LANE_CN)),
         sum: Vec::new(),
         cout: (
             PortLoc::new(x, y + 2 * n - 1, Edge::South, LANE_C),
@@ -128,7 +125,7 @@ pub fn ripple_adder(
             *b = BlockConfig::flowing(Edge::North, Edge::South);
             b.alt_edge = Edge::East;
             b.inputs[5] = InputSource::Lfb0; // P1' = ((a+b+c)·c̄out)'
-            // t0: sum = (P1'·(abc)')' → east lane 0
+                                             // t0: sum = (P1'·(abc)')' → east lane 0
             b.set_term(0, &[4, 5]);
             b.drivers[0] = OutMode::Buf;
             b.dests[0] = OutputDest::AltEdgeLane;
@@ -185,8 +182,7 @@ mod tests {
     }
 
     fn read_result(sim: &Simulator, elab: &Elaborated, ports: &AdderPorts) -> Option<u64> {
-        let mut bits: Vec<Logic> =
-            ports.sum.iter().map(|p| sim.value(p.net(elab))).collect();
+        let mut bits: Vec<Logic> = ports.sum.iter().map(|p| sim.value(p.net(elab))).collect();
         bits.push(sim.value(ports.cout.0.net(elab)));
         logic::to_u64(&bits)
     }
@@ -226,8 +222,8 @@ mod tests {
 
     #[test]
     fn sixteen_bit_adder_random_vectors() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use pmorph_util::rng::Rng;
+        use pmorph_util::rng::StdRng;
         let (elab, ports) = build(16);
         let mut rng = StdRng::seed_from_u64(0xADDE);
         for _ in 0..40 {
@@ -237,11 +233,7 @@ mod tests {
             let mut sim = Simulator::new(elab.netlist.clone());
             drive_operands(&mut sim, &elab, &ports, a, b, cin);
             sim.settle(10_000_000).unwrap();
-            assert_eq!(
-                read_result(&sim, &elab, &ports),
-                Some(a + b + cin as u64),
-                "{a}+{b}+{cin}"
-            );
+            assert_eq!(read_result(&sim, &elab, &ports), Some(a + b + cin as u64), "{a}+{b}+{cin}");
         }
     }
 
@@ -276,9 +268,7 @@ mod tests {
         let mut fabric = Fabric::new(2, 2);
         ripple_adder(&mut fabric, 0, 0, 1).unwrap();
         let live = (0..6)
-            .filter(|t| {
-                fabric.block(0, 0).crosspoints[*t].contains(&pmorph_core::CellMode::Active)
-            })
+            .filter(|t| fabric.block(0, 0).crosspoints[*t].contains(&pmorph_core::CellMode::Active))
             .count();
         assert_eq!(live, TERMS_PER_BIT, "the paper's five-term claim");
     }

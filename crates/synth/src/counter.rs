@@ -57,11 +57,7 @@ impl Counter {
             let f = dff(&mut fabric, 3, i)?;
             xors.push(x);
             ffs.push(f);
-            ands.push(if i + 1 < n {
-                Some(lut3(&mut fabric, 8, i, &and2)?)
-            } else {
-                None
-            });
+            ands.push(if i + 1 < n { Some(lut3(&mut fabric, 8, i, &and2)?) } else { None });
         }
         Ok(Counter { n, fabric, xors, ands, ffs })
     }
@@ -106,12 +102,7 @@ impl Counter {
     pub fn footprint_blocks(&self) -> usize {
         self.xors.iter().map(|t| t.footprint.len()).sum::<usize>()
             + self.ffs.iter().map(|t| t.footprint.len()).sum::<usize>()
-            + self
-                .ands
-                .iter()
-                .flatten()
-                .map(|t| t.footprint.len())
-                .sum::<usize>()
+            + self.ands.iter().flatten().map(|t| t.footprint.len()).sum::<usize>()
     }
 }
 
@@ -146,9 +137,7 @@ impl CounterSim {
 
     /// Present count.
     pub fn read(&self) -> Option<u64> {
-        pmorph_sim::logic::to_u64(
-            &self.q.iter().map(|&q| self.sim.value(q)).collect::<Vec<_>>(),
-        )
+        pmorph_sim::logic::to_u64(&self.q.iter().map(|&q| self.sim.value(q)).collect::<Vec<_>>())
     }
 }
 

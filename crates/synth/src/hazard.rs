@@ -106,10 +106,7 @@ mod tests {
         // The minimal cover is the two-cube latch equation and has the
         // classic hazard…
         let hz = static1_hazards(&tt, &minimal);
-        assert!(
-            !hz.is_empty(),
-            "minimal latch cover must exhibit the en-transition hazard"
-        );
+        assert!(!hz.is_empty(), "minimal latch cover must exhibit the en-transition hazard");
         assert!(hz.iter().all(|h| h.var == 1), "hazard is on the enable: {hz:?}");
         // …and the repair adds the consensus cube d·q.
         let fixed = make_hazard_free(&tt, &minimal);

@@ -37,11 +37,11 @@ pub mod tile;
 pub mod truth;
 
 pub use accumulator::{Accumulator, AccumulatorSim};
-pub use counter::{Counter, CounterSim};
 pub use adder::{ripple_adder, AdderPorts, TERMS_PER_BIT};
+pub use counter::{Counter, CounterSim};
 pub use hazard::{hazard_free_cover, is_hazard_free, make_hazard_free, static1_hazards, Hazard};
-pub use mapk::{fabric_size_for, map_function, MappedFunction};
 pub use lut::{lut3, lut3_core, polarity_block, LutPorts};
+pub use mapk::{fabric_size_for, map_function, MappedFunction};
 pub use qm::{minimize, prime_implicants, Cube, Sop};
 pub use register::{shift_register, ShiftRegisterPorts};
 pub use route::Router;

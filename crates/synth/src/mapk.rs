@@ -90,13 +90,17 @@ impl MapCtx<'_> {
             let o0 = self.map_rec(&f0, &vars[..split])?;
             let o1 = self.map_rec(&f1, &vars[..split])?;
             // mux(a, b, s) = s̄·a + s·b over local inputs (0, 1, 2)
-            let mux_tt = TruthTable::from_fn(3, |m| {
-                if m >> 2 & 1 == 1 {
-                    m >> 1 & 1 == 1
-                } else {
-                    m & 1 == 1
-                }
-            });
+            let mux_tt =
+                TruthTable::from_fn(
+                    3,
+                    |m| {
+                        if m >> 2 & 1 == 1 {
+                            m >> 1 & 1 == 1
+                        } else {
+                            m & 1 == 1
+                        }
+                    },
+                );
             let ports = self.place_lut(&mux_tt)?;
             self.stitches.push((o0, ports.inputs[0]));
             self.stitches.push((o1, ports.inputs[1]));
@@ -196,8 +200,8 @@ mod tests {
 
     #[test]
     fn random_five_var_functions() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use pmorph_util::rng::Rng;
+        use pmorph_util::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(0x5A5A);
         for _ in 0..4 {
             verify(&TruthTable::from_bits(5, rng.random::<u64>()));

@@ -8,11 +8,10 @@
 //! tests).
 
 use crate::truth::TruthTable;
-use serde::{Deserialize, Serialize};
 
 /// A product term (cube) over up to 6 variables: variable `v` appears iff
 /// bit `v` of `care` is set, with the polarity given by bit `v` of `value`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Cube {
     /// Cared-variable mask.
     pub care: u8,
@@ -53,15 +52,12 @@ impl Cube {
 
     /// The literals as `(variable, positive)` pairs.
     pub fn literal_list(&self) -> Vec<(usize, bool)> {
-        (0..8)
-            .filter(|v| self.care >> v & 1 == 1)
-            .map(|v| (v, self.value >> v & 1 == 1))
-            .collect()
+        (0..8).filter(|v| self.care >> v & 1 == 1).map(|v| (v, self.value >> v & 1 == 1)).collect()
     }
 }
 
 /// A sum-of-products cover.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Sop {
     /// The product terms.
     pub cubes: Vec<Cube>,
@@ -125,12 +121,7 @@ pub fn minimize(tt: &TruthTable) -> Sop {
     let cover_sets: Vec<Vec<usize>> = primes
         .iter()
         .map(|p| {
-            minterms
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| p.covers(**m))
-                .map(|(i, _)| i)
-                .collect()
+            minterms.iter().enumerate().filter(|(_, m)| p.covers(**m)).map(|(i, _)| i).collect()
         })
         .collect();
 
@@ -138,9 +129,8 @@ pub fn minimize(tt: &TruthTable) -> Sop {
     let mut covered = vec![false; minterms.len()];
     // Essential primes: a minterm covered by exactly one prime.
     for (mi, _) in minterms.iter().enumerate() {
-        let covering: Vec<usize> = (0..primes.len())
-            .filter(|p| cover_sets[*p].contains(&mi))
-            .collect();
+        let covering: Vec<usize> =
+            (0..primes.len()).filter(|p| cover_sets[*p].contains(&mi)).collect();
         if covering.len() == 1 && !chosen.contains(&covering[0]) {
             chosen.push(covering[0]);
             for &c in &cover_sets[covering[0]] {

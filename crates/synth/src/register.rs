@@ -139,17 +139,13 @@ mod tests {
             h.tick(b);
         }
         // after 4 ticks, stage i holds pattern[3 - i] (newest at stage 0)
-        let want: Vec<Option<bool>> =
-            (0..4).map(|i| Some(pattern[3 - i])).collect();
+        let want: Vec<Option<bool>> = (0..4).map(|i| Some(pattern[3 - i])).collect();
         assert_eq!(h.state(), want);
         // shift two zeros through: stages now hold (newest first)
         // [0, 0, pattern[3], pattern[2]] = [0, 0, 1, 1]
         h.tick(false);
         h.tick(false);
-        assert_eq!(
-            h.state(),
-            vec![Some(false), Some(false), Some(true), Some(true)]
-        );
+        assert_eq!(h.state(), vec![Some(false), Some(false), Some(true), Some(true)]);
     }
 
     #[test]
@@ -163,8 +159,8 @@ mod tests {
 
     #[test]
     fn long_register_conserves_stream() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use pmorph_util::rng::Rng;
+        use pmorph_util::rng::StdRng;
         let n = 6;
         let mut h = build(n);
         let mut rng = StdRng::seed_from_u64(0x5417);

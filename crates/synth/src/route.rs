@@ -65,9 +65,7 @@ impl Router {
         match self.shared.get(&(x, y)) {
             None => true,
             Some(rb) => {
-                rb.entry == entry
-                    && rb.exit == exit
-                    && lanes.iter().all(|l| !rb.lanes.contains(l))
+                rb.entry == entry && rb.exit == exit && lanes.iter().all(|l| !rb.lanes.contains(l))
             }
         }
     }
@@ -178,11 +176,7 @@ impl Router {
         // the new lanes rather than reset.
         let mut placed = Vec::new();
         for (i, s) in chain.iter().enumerate() {
-            let exit = if i + 1 < chain.len() {
-                chain[i + 1].entry.opposite()
-            } else {
-                goal_exit
-            };
+            let exit = if i + 1 < chain.len() { chain[i + 1].entry.opposite() } else { goal_exit };
             let lane_pairs: Vec<(usize, usize)> = if i == 0 {
                 pairs.to_vec() // lane shuffle happens on entry
             } else {
@@ -237,11 +231,7 @@ fn block_boundary(w: usize, h: usize, x: usize, y: usize, edge: Edge) -> (u8, us
 
 /// Blocks flanking a boundary, with the edge through which the boundary is
 /// seen from each block.
-fn boundary_blocks(
-    w: usize,
-    h: usize,
-    key: (u8, usize, usize),
-) -> Vec<(usize, usize, Edge)> {
+fn boundary_blocks(w: usize, h: usize, key: (u8, usize, usize)) -> Vec<(usize, usize, Edge)> {
     let mut out = Vec::new();
     match key {
         (1, bx, y) => {
@@ -283,12 +273,7 @@ mod tests {
     use pmorph_sim::{Logic, Simulator};
 
     /// Drive the src boundary, check the dst boundary follows.
-    fn check_path(
-        fabric: &Fabric,
-        src: PortLoc,
-        dst: PortLoc,
-        lanes: &[usize],
-    ) {
+    fn check_path(fabric: &Fabric, src: PortLoc, dst: PortLoc, lanes: &[usize]) {
         let elab = elaborate(fabric, &FabricTiming::default());
         for pattern in 0..(1u64 << lanes.len()) {
             let mut sim = Simulator::new(elab.netlist.clone());
@@ -351,10 +336,7 @@ mod tests {
         router.occupy(1, 0);
         let src = PortLoc::new(0, 0, Edge::West, 0);
         let dst = PortLoc::new(2, 0, Edge::East, 0);
-        assert_eq!(
-            router.route(&mut fabric, src, dst, &[0]),
-            Err(MapError::OutOfRoom)
-        );
+        assert_eq!(router.route(&mut fabric, src, dst, &[0]), Err(MapError::OutOfRoom));
     }
 
     #[test]
@@ -401,11 +383,7 @@ mod tests {
         let out = PortLoc::new(1, 0, Edge::East, 0).net(&elab);
         sim.watch(out);
         sim.run_until(20_000, 10_000_000).unwrap();
-        let toggles = sim
-            .trace(out)
-            .iter()
-            .filter(|(_, v)| v.is_definite())
-            .count();
+        let toggles = sim.trace(out).iter().filter(|(_, v)| v.is_definite()).count();
         assert!(toggles > 10, "in-fabric feedback loop oscillates: {toggles}");
     }
 }

@@ -239,8 +239,7 @@ mod tests {
     fn dff_captures_on_rising_edge_only() {
         let (elab, p) = fresh_dff();
         let mut sim = Simulator::new(elab.netlist.clone());
-        let (d, c, r, q) =
-            (p.d.net(&elab), p.clk.net(&elab), p.reset_n.net(&elab), p.q.net(&elab));
+        let (d, c, r, q) = (p.d.net(&elab), p.clk.net(&elab), p.reset_n.net(&elab), p.q.net(&elab));
         // initialise via reset
         sim.drive(d, Logic::L0);
         sim.drive(c, Logic::L0);
@@ -275,8 +274,7 @@ mod tests {
     fn dff_shifts_through_many_cycles() {
         let (elab, p) = fresh_dff();
         let mut sim = Simulator::new(elab.netlist.clone());
-        let (d, c, r, q) =
-            (p.d.net(&elab), p.clk.net(&elab), p.reset_n.net(&elab), p.q.net(&elab));
+        let (d, c, r, q) = (p.d.net(&elab), p.clk.net(&elab), p.reset_n.net(&elab), p.q.net(&elab));
         sim.drive(r, Logic::L0);
         sim.drive(c, Logic::L0);
         sim.drive(d, Logic::L0);
@@ -300,8 +298,7 @@ mod tests {
     fn dff_reset_mid_flight() {
         let (elab, p) = fresh_dff();
         let mut sim = Simulator::new(elab.netlist.clone());
-        let (d, c, r, q) =
-            (p.d.net(&elab), p.clk.net(&elab), p.reset_n.net(&elab), p.q.net(&elab));
+        let (d, c, r, q) = (p.d.net(&elab), p.clk.net(&elab), p.reset_n.net(&elab), p.q.net(&elab));
         sim.drive(r, Logic::L0);
         sim.drive(c, Logic::L0);
         sim.drive(d, Logic::L1);

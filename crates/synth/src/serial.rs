@@ -144,8 +144,8 @@ mod tests {
 
     #[test]
     fn serial_add_wide_random() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use pmorph_util::rng::Rng;
+        use pmorph_util::rng::StdRng;
         let builder = BitSerialAdder::build().unwrap();
         let mut sim = builder.elaborate(&FabricTiming::default());
         let mut rng = StdRng::seed_from_u64(7);

@@ -8,10 +8,9 @@
 
 use pmorph_core::{BlockConfig, Edge, Elaborated, OutMode};
 use pmorph_sim::NetId;
-use serde::{Deserialize, Serialize};
 
 /// A boundary-lane address: lane `lane` on edge `edge` of block `(x, y)`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct PortLoc {
     /// Block column.
     pub x: usize,

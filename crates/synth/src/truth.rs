@@ -4,12 +4,10 @@
 //! block pair is "the equivalent of a small LUT with 6 inputs, 6 outputs
 //! and 6 product-terms" (paper §4).
 
-use serde::{Deserialize, Serialize};
-
 /// A boolean function of `n ≤ 6` variables, stored as a 2^n-bit mask with
 /// minterm `m`'s value in bit `m` (variable 0 is the least-significant
 /// index bit).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TruthTable {
     n: u8,
     bits: u64,

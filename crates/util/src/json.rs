@@ -1,0 +1,518 @@
+//! A minimal, derive-free JSON value model with serializer and parser.
+//!
+//! Replaces `serde`/`serde_json` for the workspace's needs: writing
+//! `results.json` from the repro harness and round-tripping small
+//! configuration images. Construction is explicit (no derive macros —
+//! the hermetic-build policy forbids proc-macro dependencies); types that
+//! want a JSON form implement [`ToJson`].
+//!
+//! Output conventions match `serde_json`: object keys in insertion order,
+//! `null`/`true`/`false` literals, strings escaped per RFC 8259, numbers
+//! via Rust's shortest-round-trip float formatting.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Insert a field (objects only; no-op with debug assert otherwise).
+    pub fn set(&mut self, key: &str, val: Value) -> &mut Self {
+        if let Value::Object(fields) = self {
+            fields.push((key.to_string(), val));
+        } else {
+            debug_assert!(false, "Value::set on a non-object");
+        }
+        self
+    }
+
+    /// Field lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation (serde_json style).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(x) => write_number(out, *x),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(xs) => {
+                if xs.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    x.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no Inf/NaN; serialize as null like serde_json's default
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types with a canonical JSON image.
+pub trait ToJson {
+    /// Build the JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+/// Parse error: byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed).
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let b = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(ParseError { at: pos, msg: "trailing characters" });
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(ParseError { at: *pos, msg: "unexpected end of input" });
+    };
+    match c {
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => Ok(Value::Str(parse_string(b, pos)?)),
+        b'[' => {
+            *pos += 1;
+            let mut xs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(xs));
+            }
+            loop {
+                xs.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(xs));
+                    }
+                    _ => return Err(ParseError { at: *pos, msg: "expected ',' or ']'" }),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(ParseError { at: *pos, msg: "expected ':'" });
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(ParseError { at: *pos, msg: "expected ',' or '}'" }),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => Err(ParseError { at: *pos, msg: "unexpected character" }),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &'static str, v: Value) -> Result<Value, ParseError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(ParseError { at: *pos, msg: "invalid literal" })
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or(ParseError { at: start, msg: "invalid number" })
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(ParseError { at: *pos, msg: "expected '\"'" });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(ParseError { at: *pos, msg: "unterminated string" });
+        };
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&e) = b.get(*pos) else {
+                    return Err(ParseError { at: *pos, msg: "unterminated escape" });
+                };
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(ParseError { at: *pos, msg: "bad \\u escape" })?;
+                        *pos += 4;
+                        // surrogate pairs: only BMP scalars are produced by
+                        // our serializer; decode pairs for completeness
+                        let ch = if (0xD800..0xDC00).contains(&hex) {
+                            if b.get(*pos..*pos + 2) != Some(b"\\u") {
+                                return Err(ParseError { at: *pos, msg: "lone high surrogate" });
+                            }
+                            *pos += 2;
+                            let low = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(ParseError { at: *pos, msg: "bad \\u escape" })?;
+                            *pos += 4;
+                            0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            hex
+                        };
+                        out.push(
+                            char::from_u32(ch)
+                                .ok_or(ParseError { at: *pos, msg: "invalid unicode scalar" })?,
+                        );
+                    }
+                    _ => return Err(ParseError { at: *pos, msg: "unknown escape" }),
+                }
+            }
+            _ => {
+                // copy one UTF-8 scalar verbatim
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| ParseError { at: *pos, msg: "invalid UTF-8" })?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_like_serde_json() {
+        let mut obj = Value::object();
+        obj.set("id", Value::Str("E1/Fig3".into()))
+            .set("pass", Value::Bool(true))
+            .set("rows", Value::Array(vec![Value::Str("a".into())]))
+            .set("n", Value::Num(128.0));
+        assert_eq!(obj.to_string_compact(), r#"{"id":"E1/Fig3","pass":true,"rows":["a"],"n":128}"#);
+        let pretty = obj.to_string_pretty();
+        assert!(pretty.contains("\n  \"id\": \"E1/Fig3\""), "{pretty}");
+    }
+
+    #[test]
+    fn escapes_control_and_quote() {
+        let v = Value::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.to_string_compact(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut obj = Value::object();
+        obj.set("s", Value::Str("λ → \"x\"\n".into()))
+            .set("f", Value::Num(0.125))
+            .set("neg", Value::Num(-3.5e-4))
+            .set("null", Value::Null)
+            .set(
+                "nest",
+                Value::Array(vec![
+                    Value::Bool(false),
+                    Value::Object(vec![("k".into(), Value::Num(1.0))]),
+                    Value::Array(vec![]),
+                ]),
+            );
+        for text in [obj.to_string_compact(), obj.to_string_pretty()] {
+            assert_eq!(parse(&text).unwrap(), obj, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        assert_eq!(parse(r#""é😀""#).unwrap(), Value::Str("é😀".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse(r#""\x""#).is_err());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::Num(23.0).to_string_compact(), "23");
+        assert_eq!(Value::Num(-1.0).to_string_compact(), "-1");
+        assert_eq!(Value::Num(0.5).to_string_compact(), "0.5");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"a":[1,true,"x"]}"#).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_bool(), Some(true));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert_eq!(v.get("b"), None);
+    }
+}

@@ -1,0 +1,254 @@
+//! A micro-benchmark timer with a criterion-shaped API — the workspace's
+//! replacement for `criterion` in `crates/bench/benches/*`.
+//!
+//! Scope: wall-clock mean/min per iteration with adaptive batching and a
+//! fixed time budget per benchmark. No statistics beyond that, no HTML
+//! reports, no baseline files — regressions are compared by reading the
+//! printed table. The API mirrors the subset of criterion the bench files
+//! use, so a bench function is written identically against either.
+//!
+//! Budget: `PMORPH_BENCH_MS` milliseconds of measurement per benchmark
+//! (default 300; set it low, e.g. 20, for a smoke pass).
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation: scales the report to elements/second.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to a benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    budget: Duration,
+    total_ns: u128,
+    iters: u64,
+    min_ns: u128,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { budget, total_ns: 0, iters: 0, min_ns: u128::MAX }
+    }
+
+    /// Time a routine: warm up once, then run batches of doubling size
+    /// until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up, also primes caches
+        let start = Instant::now();
+        let mut batch: u64 = 1;
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed().as_nanos().max(1);
+            self.total_ns += dt;
+            self.iters += batch;
+            self.min_ns = self.min_ns.min(dt / batch as u128);
+            if dt < 1_000_000 {
+                // batch is too small to time accurately — grow it
+                batch = batch.saturating_mul(2);
+            }
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.total_ns as f64 / self.iters as f64
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "  (not measured)".into()
+    } else if ns < 1e3 {
+        format!("{ns:9.1} ns")
+    } else if ns < 1e6 {
+        format!("{:9.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:9.2} ms", ns / 1e6)
+    } else {
+        format!("{:9.2} s ", ns / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mean = b.mean_ns();
+    let mut line = format!(
+        "{name:<52} {} /iter  (min {}, {} iters)",
+        fmt_ns(mean),
+        fmt_ns(b.min_ns as f64),
+        b.iters
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if mean > 0.0 {
+            let per_s = count as f64 / (mean / 1e9);
+            line.push_str(&format!("  [{per_s:.3e} {unit}/s]"));
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("PMORPH_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        let name = name.into();
+        println!("── {name}");
+        BenchGroup { criterion: self, name, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput scale.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterised by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        self
+    }
+
+    /// End the group (prints nothing; exists for criterion parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Define a bench group function, criterion-style:
+/// `criterion_group!(name, fn_a, fn_b)` produces `pub fn name()`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.total_ns > 0);
+        assert!(b.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { budget: Duration::from_millis(1) };
+        c.bench_function("unit/add", |b| b.iter(|| 2 + 2));
+        let mut g = c.benchmark_group("unit/group");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("inline", |b| b.iter(|| (0..4).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+        assert_eq!(BenchmarkId::new("f", "x").to_string(), "f/x");
+    }
+}

@@ -1,0 +1,119 @@
+//! A scoped worker pool over `std::thread` — the workspace's replacement
+//! for `rayon` in the Monte-Carlo and sweep paths.
+//!
+//! Guarantees that matter here:
+//!
+//! * **Deterministic output order**: `par_map` returns results in input
+//!   order regardless of scheduling, so parallel Monte-Carlo runs are
+//!   bit-identical to serial ones (each sample must seed its own RNG —
+//!   see [`crate::rng::mix_seed`]).
+//! * **No global state**: every call spins up a scoped pool and joins it
+//!   before returning; panics in workers propagate to the caller.
+//! * **Serial fallback**: single-item inputs, single-CPU hosts, or
+//!   `PMORPH_THREADS=1` run inline, which keeps stack traces simple and
+//!   makes the parallel path easy to ablate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `PMORPH_THREADS` if set, else available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("PMORPH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Map `f` over `items` in parallel, preserving input order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Map `f` over `0..n` in parallel, preserving index order.
+///
+/// Work is claimed item-at-a-time from a shared atomic counter, so uneven
+/// item costs (e.g. VTC solves that fail fast) still balance well.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = worker_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map_range(1000, |i| i * i);
+        assert_eq!(out, (0..1000).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn maps_slices() {
+        let items = vec!["a", "bb", "ccc"];
+        assert_eq!(par_map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(par_map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_range(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn matches_serial_with_seeded_rng() {
+        use crate::rng::{mix_seed, Rng, StdRng};
+        let sample = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(99, i as u64));
+            rng.random::<f64>()
+        };
+        let serial: Vec<f64> = (0..64).map(sample).collect();
+        let parallel = par_map_range(64, sample);
+        assert_eq!(serial, parallel, "bit-identical regardless of threading");
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        par_map_range(8, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,266 @@
+//! An in-repo property-testing mini-harness — the workspace's replacement
+//! for `proptest`.
+//!
+//! Differences from proptest, on purpose:
+//!
+//! * **Fixed seeds**: case `i` of property `name` always draws from seed
+//!   `mix_seed(fnv1a(name), i)`. Runs are identical on every machine and
+//!   every execution; there is no persistence file and no time-derived
+//!   entropy.
+//! * **Fixed case counts**: the caller states how many cases to run;
+//!   nothing is adaptive.
+//! * **Failure-case reporting**: a failing property panics with the
+//!   property name, case index, seed, and the failure message, plus a
+//!   ready-to-paste [`replay`] snippet. No shrinking — the seed is enough
+//!   to reproduce exactly.
+//!
+//! ```
+//! use pmorph_util::rng::Rng;
+//! use pmorph_util::{prop, prop_assert, prop_assert_eq};
+//!
+//! prop::check("add_commutes", 64, |g| {
+//!     let (a, b) = (g.rng.random::<u32>() / 2, g.rng.random::<u32>() / 2);
+//!     prop_assert_eq!(a + b, b + a);
+//!     prop_assert!(a + b >= a, "no wrap: {a} {b}");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{mix_seed, Rng, SampleRange, StdRng};
+
+/// FNV-1a hash of the property name: the stable base seed.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Per-case generator handed to a property: a seeded RNG plus the case
+/// metadata used in failure reports.
+pub struct Gen {
+    /// The case's deterministic generator.
+    pub rng: StdRng,
+    /// Case index within the property run.
+    pub case: u32,
+    /// The exact seed (pass to [`replay`] to reproduce).
+    pub seed: u64,
+}
+
+impl Gen {
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    /// Fair boolean.
+    pub fn bool(&mut self) -> bool {
+        self.rng.random()
+    }
+
+    /// Uniform value in a range (any [`SampleRange`]).
+    pub fn in_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        self.rng.random_range(range)
+    }
+
+    /// A vector of `len` values drawn from `range`.
+    pub fn vec_in<S: SampleRange + Clone>(&mut self, range: S, len: usize) -> Vec<S::Output> {
+        (0..len).map(|_| self.rng.random_range(range.clone())).collect()
+    }
+
+    /// A vector of `len` fair booleans.
+    pub fn vec_bool(&mut self, len: usize) -> Vec<bool> {
+        (0..len).map(|_| self.rng.random()).collect()
+    }
+}
+
+/// The outcome of one property case: `Err` carries the failure message.
+pub type CaseResult = Result<(), String>;
+
+/// Run `cases` deterministic cases of a property; panic with a full
+/// failure report (name, case, seed, message) on the first counterexample.
+pub fn check<F>(name: &str, cases: u32, mut property: F)
+where
+    F: FnMut(&mut Gen) -> CaseResult,
+{
+    let base = fnv1a(name);
+    for case in 0..cases {
+        let seed = mix_seed(base, case as u64);
+        let mut g = Gen { rng: StdRng::seed_from_u64(seed), case, seed };
+        if let Err(msg) = property(&mut g) {
+            panic!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (seed 0x{seed:016X}):\n  {msg}\n  \
+                 reproduce with: prop::replay(0x{seed:016X}, |g| {{ .. }})"
+            );
+        }
+    }
+}
+
+/// Re-run a single case from its reported seed (for debugging a failure).
+pub fn replay<F>(seed: u64, mut property: F)
+where
+    F: FnMut(&mut Gen) -> CaseResult,
+{
+    let mut g = Gen { rng: StdRng::seed_from_u64(seed), case: 0, seed };
+    if let Err(msg) = property(&mut g) {
+        panic!("replayed case (seed 0x{seed:016X}) failed:\n  {msg}");
+    }
+}
+
+/// Assert a condition inside a property; on failure the case returns
+/// `Err` with the condition text (and optional formatted context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {} ({}:{}):\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {} ({}:{}): {}\n    left: {:?}\n   right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0;
+        check("always_true", 32, |g| {
+            ran += 1;
+            let x = g.u64();
+            prop_assert_eq!(x, x);
+            Ok(())
+        });
+        assert_eq!(ran, 32);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut xs = Vec::new();
+            check("stream_probe", 8, |g| {
+                xs.push(g.u64());
+                Ok(())
+            });
+            xs
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn different_properties_get_different_streams() {
+        let mut a = Vec::new();
+        check("prop_a", 4, |g| {
+            a.push(g.u64());
+            Ok(())
+        });
+        let mut b = Vec::new();
+        check("prop_b", 4, |g| {
+            b.push(g.u64());
+            Ok(())
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failure_report_names_case_and_seed() {
+        let err = std::panic::catch_unwind(|| {
+            check("fails_at_five", 16, |g| {
+                prop_assert!(g.case != 5, "case five is cursed");
+                Ok(())
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("fails_at_five"), "{msg}");
+        assert!(msg.contains("case 5/16"), "{msg}");
+        assert!(msg.contains("seed 0x"), "{msg}");
+        assert!(msg.contains("replay"), "{msg}");
+    }
+
+    #[test]
+    fn replay_reproduces_a_case() {
+        // find the seed case 3 uses, then replay it and compare draws
+        let base = fnv1a("some_prop");
+        let seed = mix_seed(base, 3);
+        let mut from_check = 0;
+        check("some_prop", 4, |g| {
+            if g.case == 3 {
+                from_check = g.u64();
+            }
+            Ok(())
+        });
+        let mut from_replay = 0;
+        replay(seed, |g| {
+            from_replay = g.u64();
+            Ok(())
+        });
+        assert_eq!(from_check, from_replay);
+    }
+
+    #[test]
+    fn generator_helpers_stay_in_bounds() {
+        check("helpers", 16, |g| {
+            let v = g.vec_in(0u8..3, 36);
+            prop_assert!(v.len() == 36 && v.iter().all(|&x| x < 3));
+            let n = g.in_range(1usize..=4);
+            prop_assert!((1..=4).contains(&n));
+            let bs = g.vec_bool(6);
+            prop_assert_eq!(bs.len(), 6);
+            Ok(())
+        });
+    }
+}

@@ -40,8 +40,7 @@ fn main() {
         let mut sim = Simulator::new(elab.netlist.clone());
         drive(&mut sim, a, b);
         sim.settle(10_000_000).expect("settles");
-        let mut bits: Vec<Logic> =
-            adder.sum.iter().map(|p| sim.value(p.net(&elab))).collect();
+        let mut bits: Vec<Logic> = adder.sum.iter().map(|p| sim.value(p.net(&elab))).collect();
         bits.push(sim.value(adder.cout.0.net(&elab)));
         let result = polymorphic_hw::sim::logic::to_u64(&bits).expect("definite");
         println!(" {a:3} + {b:3} = {result:3}   (settled at t={} ps)", sim.time());
@@ -51,12 +50,7 @@ fn main() {
     // ------------------------------------------------- 8-bit accumulator
     println!("\naccumulator (adder + DFF register + feedback):");
     let acc = Accumulator::build(8).expect("builds");
-    println!(
-        "  {} fabric blocks ({} adder + {} register)",
-        acc.footprint_blocks(),
-        2 * 8,
-        5 * 8
-    );
+    println!("  {} fabric blocks ({} adder + {} register)", acc.footprint_blocks(), 2 * 8, 5 * 8);
     let mut sim = acc.elaborate(&FabricTiming::default());
     sim.reset();
     let mut expected = 0u64;

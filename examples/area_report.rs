@@ -14,7 +14,11 @@ fn main() {
     let area = AreaModel::default();
 
     println!("architecture constants:");
-    println!("  FPGA: {} config bits/tile, {:.0} Kλ²/tile", arch.bits_per_tile(), arch.tile_area_lambda2() / 1e3);
+    println!(
+        "  FPGA: {} config bits/tile, {:.0} Kλ²/tile",
+        arch.bits_per_tile(),
+        arch.tile_area_lambda2() / 1e3
+    );
     println!(
         "  fabric: 128 config bits/block, {:.0} λ²/block ({:.0} λ²/LUT-pair)",
         area.block_lambda2(),
@@ -26,7 +30,10 @@ fn main() {
     );
 
     println!("\nper-circuit comparison:");
-    println!("{:<20} {:>5} {:>6} {:>10} {:>12} {:>12} {:>7}", "circuit", "CLBs", "waste", "FPGA bits", "FPGA λ²", "fabric λ²", "ratio");
+    println!(
+        "{:<20} {:>5} {:>6} {:>10} {:>12} {:>12} {:>7}",
+        "circuit", "CLBs", "waste", "FPGA bits", "FPGA λ²", "fabric λ²", "ratio"
+    );
     for c in circuits::suite() {
         let design = tech_map(&c.netlist, &c.outputs, 4).expect("maps");
         let stats = pack(&design);

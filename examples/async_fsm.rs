@@ -21,9 +21,8 @@ fn run_machine(name: &str, next: &TruthTable, sequence: &[(u64, &str)]) {
     let elab = elaborate(&fabric, &FabricTiming::default());
     let mut sim = Simulator::new(elab.netlist.clone());
     // start from a resetting input
-    let reset_input = (0..(1u64 << spec.n_inputs))
-        .find(|&m| spec.reaction(m) == Some(false))
-        .unwrap_or(0);
+    let reset_input =
+        (0..(1u64 << spec.n_inputs)).find(|&m| spec.reaction(m) == Some(false)).unwrap_or(0);
     for (v, p) in ports.inputs.iter().enumerate() {
         sim.drive(p.net(&elab), Logic::from_bool(reset_input >> v & 1 == 1));
     }

@@ -45,7 +45,9 @@ fn main() {
     let settle = |sim: &mut Simulator| sim.settle(5_000_000).expect("settles");
 
     // reset
-    for (n, v) in [(x, Logic::L0), (y, Logic::L0), (z, Logic::L0), (clk, Logic::L0), (rst, Logic::L0)] {
+    for (n, v) in
+        [(x, Logic::L0), (y, Logic::L0), (z, Logic::L0), (clk, Logic::L0), (rst, Logic::L0)]
+    {
         sim.drive(n, v);
     }
     settle(&mut sim);
@@ -64,14 +66,7 @@ fn main() {
         settle(&mut sim);
         sim.drive(clk, Logic::L0);
         settle(&mut sim);
-        println!(
-            " {} {} {} |  {}  | {}",
-            m & 1,
-            m >> 1 & 1,
-            m >> 2 & 1,
-            lut_val,
-            sim.value(q)
-        );
+        println!(" {} {} {} |  {}  | {}", m & 1, m >> 1 & 1, m >> 2 & 1, lut_val, sim.value(q));
         assert_eq!(sim.value(q), Logic::from_bool(m != 0), "Q captured the LUT value");
     }
 

@@ -62,8 +62,7 @@ fn main() {
     let e = ecse(&mut fabric, 0, 0).expect("fits");
     let elab = elaborate(&fabric, &FabricTiming::default());
     let mut sim = Simulator::new(elab.netlist.clone());
-    let (din, r, ak, z) =
-        (e.din.net(&elab), e.req.net(&elab), e.ack.net(&elab), e.z.net(&elab));
+    let (din, r, ak, z) = (e.din.net(&elab), e.req.net(&elab), e.ack.net(&elab), e.z.net(&elab));
     for (n, v) in [(din, Logic::L0), (r, Logic::L0), (ak, Logic::L0)] {
         sim.drive(n, v);
     }

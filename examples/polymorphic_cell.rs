@@ -24,7 +24,9 @@ fn main() {
         };
         match th {
             Some(t) => println!("   {vg2:+.1}   |        {t:.3}        | {behaviour}"),
-            None => println!("   {vg2:+.1}   |          —          | {behaviour} (swing {lo:.2}–{hi:.2})"),
+            None => println!(
+                "   {vg2:+.1}   |          —          | {behaviour} (swing {lo:.2}–{hi:.2})"
+            ),
         }
     }
 
@@ -44,7 +46,9 @@ fn main() {
     // ------------------------------------------ Fig. 5: driver modes
     println!("\nFig. 5 — configurable 3-state driver:");
     let drv = ConfigurableDriver::default();
-    for mode in [DriverMode::NonInverting, DriverMode::Inverting, DriverMode::OpenCircuit, DriverMode::Pass] {
+    for mode in
+        [DriverMode::NonInverting, DriverMode::Inverting, DriverMode::OpenCircuit, DriverMode::Pass]
+    {
         let o0 = drv.eval_logic(false, mode).unwrap();
         let o1 = drv.eval_logic(true, mode).unwrap();
         let fmt = |o: Option<bool>| match o {

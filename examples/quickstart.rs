@@ -23,12 +23,24 @@ fn main() {
         b.set_term(0, &[0, 1]); // NAND of the two NANDs = OR of products
         b.drivers[0] = OutMode::Buf;
     }
-    println!("fabric: {}x{} blocks, {} config bits total", fabric.width(), fabric.height(), fabric.config_bits());
-    println!("active leaf cells: {} (unused cells are simply not instantiated)", fabric.active_cells());
+    println!(
+        "fabric: {}x{} blocks, {} config bits total",
+        fabric.width(),
+        fabric.height(),
+        fabric.config_bits()
+    );
+    println!(
+        "active leaf cells: {} (unused cells are simply not instantiated)",
+        fabric.active_cells()
+    );
 
     // 2. Elaborate to a gate-level netlist and run it.
     let elab = elaborate(&fabric, &FabricTiming::default());
-    println!("elaborated: {} nets, {} components", elab.netlist.net_count(), elab.netlist.comp_count());
+    println!(
+        "elaborated: {} nets, {} components",
+        elab.netlist.net_count(),
+        elab.netlist.comp_count()
+    );
 
     println!("\n f = i0·i1 + i2·i3");
     println!(" i0 i1 i2 i3 | f");

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Hermetic verification: the whole workspace must build, test, and format
+# cleanly with the network switched off. CARGO_NET_OFFLINE both enforces
+# and documents the zero-external-dependency policy (see README.md) — if
+# anyone reintroduces a registry dependency, the first cargo command here
+# fails immediately instead of silently fetching.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== format =="
+cargo fmt --all --check
+
+echo "== build (release, all targets) =="
+cargo build --release --workspace
+cargo build --workspace --benches --examples
+
+echo "== tests (debug, whole workspace) =="
+cargo test --workspace -q
+
+echo "== reproduction experiments (E1-E23, release) =="
+cargo run --release -q -p pmorph-bench --bin repro -- >/dev/null
+
+echo "verify: OK"

@@ -42,11 +42,7 @@ pub struct FabricDesign {
 pub fn map_design_to_fabric(design: &MappedDesign) -> Result<FabricDesign, MapError> {
     // Row budget: ≤3-input LUT = 1 row; 4-input = 3 rows (two cofactor
     // tiles + mux).
-    let rows: usize = design
-        .luts
-        .iter()
-        .map(|l| if l.inputs.len() <= 3 { 1 } else { 3 })
-        .sum();
+    let rows: usize = design.luts.iter().map(|l| if l.inputs.len() <= 3 { 1 } else { 3 }).sum();
     let mut fabric = Fabric::new(4, rows.max(1));
     let mut next_row = 0usize;
     let mut out = FabricDesign {
@@ -64,41 +60,41 @@ pub fn map_design_to_fabric(design: &MappedDesign) -> Result<FabricDesign, MapEr
         let k = lut.inputs.len();
         assert!(k <= 4, "tech map was run with K ≤ 4");
         let tt = TruthTable::from_bits(k.max(1), lut.truth);
-        let output_port = if k <= 3 {
-            let ports = lut3(&mut fabric, 0, next_row, &tt)?;
-            next_row += 1;
-            out.blocks_used += ports.footprint.len();
-            for (i, p) in ports.inputs.iter().enumerate() {
-                pending.push((*p, lut.inputs[i]));
-            }
-            ports.output
-        } else {
-            // Shannon on the highest input: two 3-input cofactor tiles
-            // plus a mux tile (s̄·f0 + s·f1).
-            let f0 = tt.cofactor(3, false);
-            let f1 = tt.cofactor(3, true);
-            let p0 = lut3(&mut fabric, 0, next_row, &f0)?;
-            let p1 = lut3(&mut fabric, 0, next_row + 1, &f1)?;
-            let mux_tt = TruthTable::from_fn(3, |m| {
-                if m >> 2 & 1 == 1 {
-                    m >> 1 & 1 == 1
-                } else {
-                    m & 1 == 1
+        let output_port =
+            if k <= 3 {
+                let ports = lut3(&mut fabric, 0, next_row, &tt)?;
+                next_row += 1;
+                out.blocks_used += ports.footprint.len();
+                for (i, p) in ports.inputs.iter().enumerate() {
+                    pending.push((*p, lut.inputs[i]));
                 }
-            });
-            let pm = lut3(&mut fabric, 0, next_row + 2, &mux_tt)?;
-            next_row += 3;
-            out.blocks_used +=
-                p0.footprint.len() + p1.footprint.len() + pm.footprint.len();
-            for (i, (a, b)) in p0.inputs.iter().zip(p1.inputs.iter()).enumerate() {
-                pending.push((*a, lut.inputs[i]));
-                pending.push((*b, lut.inputs[i]));
-            }
-            out.stitches.push((p0.output, pm.inputs[0]));
-            out.stitches.push((p1.output, pm.inputs[1]));
-            pending.push((pm.inputs[2], lut.inputs[3]));
-            pm.output
-        };
+                ports.output
+            } else {
+                // Shannon on the highest input: two 3-input cofactor tiles
+                // plus a mux tile (s̄·f0 + s·f1).
+                let f0 = tt.cofactor(3, false);
+                let f1 = tt.cofactor(3, true);
+                let p0 = lut3(&mut fabric, 0, next_row, &f0)?;
+                let p1 = lut3(&mut fabric, 0, next_row + 1, &f1)?;
+                let mux_tt = TruthTable::from_fn(3, |m| {
+                    if m >> 2 & 1 == 1 {
+                        m >> 1 & 1 == 1
+                    } else {
+                        m & 1 == 1
+                    }
+                });
+                let pm = lut3(&mut fabric, 0, next_row + 2, &mux_tt)?;
+                next_row += 3;
+                out.blocks_used += p0.footprint.len() + p1.footprint.len() + pm.footprint.len();
+                for (i, (a, b)) in p0.inputs.iter().zip(p1.inputs.iter()).enumerate() {
+                    pending.push((*a, lut.inputs[i]));
+                    pending.push((*b, lut.inputs[i]));
+                }
+                out.stitches.push((p0.output, pm.inputs[0]));
+                out.stitches.push((p1.output, pm.inputs[1]));
+                pending.push((pm.inputs[2], lut.inputs[3]));
+                pm.output
+            };
         out.outputs.insert(lut.output.0, output_port);
     }
     // Resolve pending connections: internal nets become stitches, primary
@@ -152,8 +148,8 @@ impl FabricDesign {
 mod tests {
     use super::*;
     use pmorph_fpga::{circuits, tech_map, verify_mapping};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmorph_util::rng::Rng;
+    use pmorph_util::rng::StdRng;
 
     /// The cross-backend oracle: tech-map a gate netlist, auto-map the LUT
     /// network onto the fabric, and compare both backends against the
@@ -197,10 +193,7 @@ mod tests {
         // Shannon path.
         let c = circuits::parity_tree(16);
         let design = tech_map(&c.netlist, &c.outputs, 4).unwrap();
-        assert!(
-            design.luts.iter().any(|l| l.inputs.len() == 4),
-            "want at least one 4-LUT"
-        );
+        assert!(design.luts.iter().any(|l| l.inputs.len() == 4), "want at least one 4-LUT");
         check_circuit(&c, 8, 0xF3);
     }
 

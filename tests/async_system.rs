@@ -2,13 +2,13 @@
 //! networks, GALS transfers at randomized clock ratios, and protocol
 //! audits with the handshake checkers.
 
+use pmorph_util::rng::Rng;
+use pmorph_util::rng::StdRng;
 use polymorphic_hw::asynchronous::{
     check_two_phase, handshake, micropipeline, GalsSystem, PipelineHarness,
 };
 use polymorphic_hw::pmorph_core::elaborate::elaborate;
 use polymorphic_hw::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 #[test]
 fn fifo_random_interleaving_stress() {
@@ -66,8 +66,8 @@ fn fifo_handshake_protocol_is_clean() {
         sim.drive(pipe.ack_in, Logic::from_bool(ack));
         sim.settle(1_000_000).unwrap();
     }
-    let tokens = check_two_phase(sim.trace(pipe.req_in), sim.trace(pipe.ack_out))
-        .expect("protocol clean");
+    let tokens =
+        check_two_phase(sim.trace(pipe.req_in), sim.trace(pipe.ack_out)).expect("protocol clean");
     assert_eq!(tokens, 6);
 }
 
@@ -133,8 +133,8 @@ fn fabric_c_element_tree_synchronizes_three_requests() {
 fn gals_transfer_randomized_clock_ratios() {
     let mut rng = StdRng::seed_from_u64(0x6A15);
     for _ in 0..3 {
-        let ta = rng.random_range(300..2500);
-        let tb = rng.random_range(300..2500);
+        let ta = rng.random_range(300u64..2500);
+        let tb = rng.random_range(300u64..2500);
         let words: Vec<u64> = (0..6).map(|_| rng.random::<u64>() & 0xFF).collect();
         let mut g = GalsSystem::new(3, 8, ta, tb);
         assert_eq!(g.transfer(&words), words, "Ta={ta} Tb={tb}");

@@ -1,12 +1,12 @@
 //! Datapath integration: wide adders, the accumulator, bit-serial vs
 //! parallel equivalence, and ripple-delay measurement — Fig. 10 end to end.
 
+use pmorph_util::rng::Rng;
+use pmorph_util::rng::StdRng;
 use polymorphic_hw::pmorph_core::elaborate::elaborate;
 use polymorphic_hw::pmorph_core::Elaborated;
 use polymorphic_hw::prelude::*;
 use polymorphic_hw::synth::AdderPorts;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn build_adder(n: usize) -> (Elaborated, AdderPorts) {
     let mut fabric = Fabric::new(2, 2 * n);

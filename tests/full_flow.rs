@@ -56,10 +56,11 @@ fn digital_cell_modes_match_device_physics() {
                 }
                 acc.map(|x| !x)
             };
-            let tt: Vec<Option<bool>> = [(false, false), (true, false), (false, true), (true, true)]
-                .iter()
-                .map(|&(a, b)| digital(a, b).or(Some(true)))
-                .collect();
+            let tt: Vec<Option<bool>> =
+                [(false, false), (true, false), (false, true), (true, true)]
+                    .iter()
+                    .map(|&(a, b)| digital(a, b).or(Some(true)))
+                    .collect();
             let expected = match device_says {
                 NandOutput::NandAB => vec![true, true, true, false],
                 NandOutput::NotA => vec![true, false, true, false],

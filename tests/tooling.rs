@@ -37,9 +37,7 @@ fn render_shows_the_fig9_tile_structure() {
     let mut router = Router::new();
     router.occupy_all(&lut.footprint);
     router.occupy_all(&ff.footprint);
-    router
-        .route(&mut fabric, lut.output, PortLoc { lane: 0, ..ff.d }, &[0])
-        .unwrap();
+    router.route(&mut fabric, lut.output, PortLoc { lane: 0, ..ff.d }, &[0]).unwrap();
     let summary = render::render_summary(&fabric);
     // 9 configured blocks flowing east + 1 dormant
     assert_eq!(summary.matches('→').count(), 9, "{summary}");
