@@ -1,13 +1,52 @@
 //! Criterion benches for the simulation substrate itself: event-kernel
 //! throughput, elaboration speed, and the study pipelines (E15–E18).
+//!
+//! This is the suite behind the tracked `BENCH_kernel.json` baseline
+//! (`scripts/bench.sh`): the three `kernel_*_events` workloads report
+//! events/second through the CSR + timing-wheel kernel, and
+//! `kernel_alloc_free_steady_state` proves — with a counting global
+//! allocator — that the steady-state event loop performs zero heap
+//! allocations.
 
 use pmorph_core::elaborate::elaborate;
-use pmorph_core::{Fabric, FabricTiming};
+use pmorph_core::{Fabric, FabricTiming, OutMode, LANES};
 use pmorph_device::variation::{run_study, VariationModel};
-use pmorph_sim::{Component, Logic, Netlist, Simulator};
+use pmorph_sim::{Component, Logic, NetId, Netlist, NetlistBuilder, Simulator};
 use pmorph_util::microbench::{BenchmarkId, Criterion, Throughput};
 use pmorph_util::{criterion_group, criterion_main};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (and growing reallocation) so the steady-state
+/// check below can assert the kernel's hot loop is allocation-free.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Event-kernel throughput on a free-running inverter ring.
 fn kernel_event_throughput(c: &mut Criterion) {
@@ -147,12 +186,181 @@ fn kernel_levelized_vs_event(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracked workload 1: a 16×16 checkerboard-rotated array (256 blocks,
+/// Fig. 8 stitching) elaborated once, then repeatedly re-stimulated from
+/// its west/north perimeter. One simulator is reused across vectors via
+/// snapshot/restore — the allocation-free sweep path.
+fn kernel_fabric_rotated_array(c: &mut Criterion) {
+    let side = 16usize;
+    let mut fabric = Fabric::new(side, side);
+    fabric.checkerboard_flow();
+    for y in 0..side {
+        for x in 0..side {
+            let b = fabric.block_mut(x, y);
+            b.set_term(0, &[0, 1]);
+            b.drivers[0] = OutMode::Buf;
+        }
+    }
+    let elab = elaborate(&fabric, &FabricTiming::default());
+    let mut perimeter: Vec<NetId> = Vec::new();
+    for y in 0..side {
+        for lane in 0..LANES {
+            perimeter.push(elab.vlane(0, y, lane));
+        }
+    }
+    for x in 0..side {
+        for lane in 0..LANES {
+            perimeter.push(elab.hlane(x, 0, lane));
+        }
+    }
+    let mut sim = Simulator::new(elab.netlist.clone());
+    let initial = sim.snapshot();
+    let run = |sim: &mut Simulator| {
+        sim.restore(&initial);
+        for phase in 0..2u64 {
+            for (i, &n) in perimeter.iter().enumerate() {
+                sim.drive(n, Logic::from_bool((i as u64 + phase) % 2 == 1));
+            }
+            sim.settle(10_000_000).expect("fabric settles");
+        }
+        sim.stats().events
+    };
+    let before = sim.stats().events;
+    run(&mut sim);
+    let events_per_iter = sim.stats().events - before;
+    let mut group = c.benchmark_group("kernel/fabric_rotated_16x16_events");
+    group.throughput(Throughput::Elements(events_per_iter));
+    group.bench_function("sweep", |b| b.iter(|| black_box(run(&mut sim))));
+    group.finish();
+}
+
+/// Tracked workload 2: a 16-bit gate-level ripple-carry adder pushed
+/// through eight operand pairs per iteration (long carry chains → deep
+/// event cascades), one reused simulator.
+fn kernel_datapath_ripple16(c: &mut Criterion) {
+    const W: usize = 16;
+    let mut b = NetlistBuilder::new();
+    let a_in: Vec<NetId> = (0..W).map(|i| b.net(format!("a{i}"))).collect();
+    let b_in: Vec<NetId> = (0..W).map(|i| b.net(format!("b{i}"))).collect();
+    let cin = b.net("cin");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(W);
+    for i in 0..W {
+        let axb = b.xor(&[a_in[i], b_in[i]]);
+        sum.push(b.xor(&[axb, carry]));
+        let g = b.and(&[a_in[i], b_in[i]]);
+        let p = b.and(&[axb, carry]);
+        carry = b.or(&[g, p]);
+    }
+    let nl = b.build();
+    let mut sim = Simulator::new(nl);
+    sim.drive(cin, Logic::L0);
+    let run = |sim: &mut Simulator| {
+        let mut acc = 0u64;
+        for k in 0..8u64 {
+            // operands chosen to ripple carries end to end
+            let a = if k % 2 == 0 { 0xFFFF } else { 0x5555 ^ (k * 0x1111) };
+            let bv = if k % 2 == 0 { k + 1 } else { 0xAAAA ^ k };
+            for i in 0..W {
+                sim.drive(a_in[i], Logic::from_bool(a >> i & 1 == 1));
+                sim.drive(b_in[i], Logic::from_bool(bv >> i & 1 == 1));
+            }
+            sim.settle(10_000_000).expect("adder settles");
+            acc += (sim.value(sum[W - 1]) == Logic::L1) as u64;
+        }
+        acc
+    };
+    let before = sim.stats().events;
+    run(&mut sim);
+    let events_per_iter = sim.stats().events - before;
+    let mut group = c.benchmark_group("kernel/datapath_ripple16_events");
+    group.throughput(Throughput::Elements(events_per_iter));
+    group.bench_function("8_vectors", |b| b.iter(|| black_box(run(&mut sim))));
+    group.finish();
+}
+
+/// Tracked workload 3: a deep 48-stage × 16-bit micropipeline FIFO,
+/// 16 words pushed and popped per iteration with two-phase handshakes
+/// (C-element feedback chains dominate the event mix).
+fn kernel_micropipeline_deep(c: &mut Criterion) {
+    let mut h = pmorph_async::PipelineHarness::new(48, 16, 10);
+    let run = |h: &mut pmorph_async::PipelineHarness| {
+        let words: Vec<u64> = (0..16u64).map(|k| 0xBEE5 ^ (k * 0x0101)).collect();
+        let mut to_send = words.iter().copied();
+        let mut pending = to_send.next();
+        let mut got = 0usize;
+        while got < words.len() {
+            let mut progressed = false;
+            if let Some(w) = pending {
+                if h.can_send() {
+                    h.send(w);
+                    pending = to_send.next();
+                    progressed = true;
+                }
+            }
+            if h.recv().is_some() {
+                got += 1;
+                progressed = true;
+            }
+            assert!(progressed, "FIFO deadlock");
+        }
+        got
+    };
+    let before = h.sim.stats().events;
+    run(&mut h);
+    let events_per_iter = h.sim.stats().events - before;
+    let mut group = c.benchmark_group("kernel/micropipeline_48x16_events");
+    group.throughput(Throughput::Elements(events_per_iter));
+    group.bench_function("16_words", |b| b.iter(|| black_box(run(&mut h))));
+    group.finish();
+}
+
+/// The allocation-free claim, enforced: warm a 301-stage ring oscillator
+/// past its first lap (all queue buckets, dirty lists, and scratch at
+/// steady capacity), zero the allocation counter, run two million more
+/// picoseconds, and require that the kernel performed **no** heap
+/// allocation. Recorded into `BENCH_kernel.json` as a pass/fail check.
+fn kernel_alloc_free_steady_state(c: &mut Criterion) {
+    let stages = 301usize;
+    let mut nl = Netlist::new();
+    let en = nl.add_net("en");
+    let mut nets = vec![nl.add_net("n0")];
+    for i in 1..stages {
+        nets.push(nl.add_net(format!("n{i}")));
+    }
+    nl.add_comp(Component::Nand { inputs: vec![en, nets[stages - 1]], output: nets[0] }, 5);
+    for i in 1..stages {
+        nl.add_comp(Component::Inv { input: nets[i - 1], output: nets[i] }, 5);
+    }
+    let mut sim = Simulator::new(nl);
+    sim.drive(en, Logic::L0);
+    sim.settle(1_000_000).unwrap();
+    sim.drive(en, Logic::L1);
+    // warm-up: several full ring laps populate every wheel bucket the
+    // workload will ever touch and size the dirty-list scratch
+    sim.run_until(500_000, 100_000_000).unwrap();
+    let warm_events = sim.stats().events;
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    sim.run_until(2_500_000, 100_000_000).unwrap();
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+    let steady_events = sim.stats().events - warm_events;
+    println!("kernel/alloc_free: {steady_events} events after warm-up, {allocs} heap allocations");
+    // one ring event per 5 ps of simulated time → 400k over the window
+    assert!(steady_events > 100_000, "ring must actually run ({steady_events} events)");
+    let ok = c.record_check("steady_state_event_loop_alloc_free", allocs == 0);
+    assert!(ok, "steady-state event loop allocated {allocs} times");
+}
+
 criterion_group!(
     kernel,
     kernel_event_throughput,
     kernel_elaboration,
     kernel_bitstream,
     kernel_levelized_vs_event,
+    kernel_fabric_rotated_array,
+    kernel_datapath_ripple16,
+    kernel_micropipeline_deep,
+    kernel_alloc_free_steady_state,
     study_variation_mc,
     study_gals_transfer
 );

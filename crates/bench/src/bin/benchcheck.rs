@@ -1,0 +1,103 @@
+//! Validate a `BENCH_*.json` perf-baseline artifact written by the
+//! microbench JSON sink (`PMORPH_BENCH_JSON`).
+//!
+//! Usage: `benchcheck <path> [required-bench-prefix ...]`
+//!
+//! Checks, in order:
+//! 1. the file parses as the expected document shape
+//!    (`budget_ms` / `benches` / `checks`),
+//! 2. every bench record carries positive `median_ns` and `iters`,
+//! 3. every recorded pass/fail check passed (e.g. the allocation-free
+//!    steady-state assertion),
+//! 4. each required prefix (default: the three tracked kernel event
+//!    workloads) matches at least one bench that reports `units_per_sec`
+//!    (the events/second figure the baseline exists to track).
+//!
+//! Exits non-zero with a message on the first violation — this is the
+//! teeth behind the CI bench smoke (`scripts/verify.sh`).
+
+use pmorph_util::json::{self, Value};
+
+/// Workloads the kernel baseline must always contain.
+const DEFAULT_REQUIRED: [&str; 3] = [
+    "kernel/fabric_rotated_16x16_events",
+    "kernel/datapath_ripple16_events",
+    "kernel/micropipeline_48x16_events",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("benchcheck: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        fail("usage: benchcheck <BENCH_*.json> [required-bench-prefix ...]");
+    };
+    let required: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        DEFAULT_REQUIRED.to_vec()
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path}: {e}")),
+    };
+
+    if doc.get("budget_ms").and_then(Value::as_f64).is_none() {
+        fail(&format!("{path}: missing numeric `budget_ms`"));
+    }
+    let Some(benches) = doc.get("benches").and_then(Value::as_array) else {
+        fail(&format!("{path}: missing `benches` array"));
+    };
+    if benches.is_empty() {
+        fail(&format!("{path}: `benches` is empty"));
+    }
+    for b in benches {
+        let name = b.get("name").and_then(Value::as_str).unwrap_or("<unnamed>");
+        let median = b.get("median_ns").and_then(Value::as_f64);
+        let iters = b.get("iters").and_then(Value::as_f64);
+        if !median.is_some_and(|m| m > 0.0) {
+            fail(&format!("{path}: bench `{name}` has no positive median_ns"));
+        }
+        if !iters.is_some_and(|i| i >= 1.0) {
+            fail(&format!("{path}: bench `{name}` ran zero iterations"));
+        }
+    }
+
+    let Some(checks) = doc.get("checks").and_then(Value::as_array) else {
+        fail(&format!("{path}: missing `checks` array"));
+    };
+    for c in checks {
+        let name = c.get("name").and_then(Value::as_str).unwrap_or("<unnamed>");
+        if c.get("pass").and_then(Value::as_bool) != Some(true) {
+            fail(&format!("{path}: check `{name}` failed"));
+        }
+    }
+
+    for prefix in &required {
+        let hit = benches
+            .iter()
+            .find(|b| b.get("name").and_then(Value::as_str).is_some_and(|n| n.starts_with(prefix)));
+        let Some(hit) = hit else {
+            fail(&format!("{path}: required workload `{prefix}` is missing"));
+        };
+        let name = hit.get("name").and_then(Value::as_str).unwrap_or("<unnamed>");
+        if !hit.get("units_per_sec").and_then(Value::as_f64).is_some_and(|r| r > 0.0) {
+            fail(&format!("{path}: workload `{name}` reports no units_per_sec throughput"));
+        }
+    }
+
+    println!(
+        "benchcheck: {path} ok ({} benches, {} checks, {} required workloads)",
+        benches.len(),
+        checks.len(),
+        required.len()
+    );
+}

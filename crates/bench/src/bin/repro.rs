@@ -29,11 +29,9 @@ fn main() {
         "===================================================================================\n"
     );
 
-    let all = experiments::run_all();
-    let selected: Vec<_> = all
-        .into_iter()
-        .filter(|e| filters.is_empty() || filters.iter().any(|f| e.id.contains(f.as_str())))
-        .collect();
+    // filtering happens in the registry, before any experiment runs, so a
+    // subset invocation only pays for the experiments it prints
+    let selected = experiments::run_matching(&filters, experiments::Scale::full());
 
     let mut failures = 0;
     for e in &selected {

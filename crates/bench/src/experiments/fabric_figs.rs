@@ -189,10 +189,16 @@ pub fn fig10_datapath() -> Experiment {
     let elab = elaborate(&fabric, &FabricTiming::default());
     let mut rng = StdRng::seed_from_u64(10);
     let mut correct = 0;
-    for _ in 0..20 {
+    // one simulator rewound to its just-built state per vector — the
+    // snapshot/restore sweep path (bit-identical to a fresh instance)
+    let mut sim = Simulator::new(elab.netlist.clone());
+    let initial = sim.snapshot();
+    for trial in 0..20 {
         let a = rng.random::<u64>() & 0xFF;
         let b = rng.random::<u64>() & 0xFF;
-        let mut sim = Simulator::new(elab.netlist.clone());
+        if trial > 0 {
+            sim.restore(&initial);
+        }
         for i in 0..8 {
             let av = a >> i & 1 == 1;
             let bv = b >> i & 1 == 1;

@@ -83,6 +83,40 @@ impl Scale {
     }
 }
 
+/// An experiment constructor, parameterised by problem [`Scale`].
+pub type ExperimentFn = fn(Scale) -> Experiment;
+
+/// The experiment index: `(id, constructor)` in run order. Having the id
+/// *outside* the constructor lets the repro harness run a filtered subset
+/// without paying for the rest of the suite.
+pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("E1/Fig3", |_| devices::fig3_inverter_vtc()),
+        ("E2/Fig4", |_| devices::fig4_nand_modes()),
+        ("E3/Fig5", |_| devices::fig5_buffer_modes()),
+        ("E4/Fig6", |_| devices::fig6_rtd_ram()),
+        ("E5/Fig7", |_| fabric_figs::fig7_nand_block()),
+        ("E6/Fig8", |_| fabric_figs::fig8_array()),
+        ("E7/Fig9", |_| fabric_figs::fig9_lut_dff()),
+        ("E8/Fig10", |_| fabric_figs::fig10_datapath()),
+        ("E9/Fig11", |_| pipelines::fig11_micropipeline()),
+        ("E10/Fig12", |_| pipelines::fig12_ecse()),
+        ("E11/§4", |_| claims::claim_config_bits()),
+        ("E12/§4-5", |_| claims::claim_area()),
+        ("E13/§3", |_| claims::claim_density_power()),
+        ("E14/§2.1", |_| claims::claim_scaling()),
+        ("E15/§2.2", |_| studies::study_utilization()),
+        ("E16/§4.1", |_| studies::study_gals()),
+        ("E17/§4-5", |_| studies::study_bitserial()),
+        ("E18/§3", |s| studies::study_variation_scaled(s.mc_samples)),
+        ("E19/§1", |s| extensions::study_defects_scaled(s.defect_trials)),
+        ("E20/§4.1", |_| extensions::study_clockless_power()),
+        ("E21/§4", |s| extensions::study_general_mapper_scaled(s.mapper_funcs)),
+        ("E22/§2.1+§4", |_| extensions::study_delay_crossover()),
+        ("E23/§1+§5", |_| extensions::study_thermal()),
+    ]
+}
+
 /// Run every experiment in index order at full scale.
 pub fn run_all() -> Vec<Experiment> {
     run_all_with(Scale::full())
@@ -94,33 +128,18 @@ pub fn run_all_fast() -> Vec<Experiment> {
 }
 
 /// Run every experiment in index order at the given scale.
-#[allow(clippy::vec_init_then_push)] // one push per experiment, in index order
 pub fn run_all_with(scale: Scale) -> Vec<Experiment> {
-    let mut out = Vec::new();
-    out.push(devices::fig3_inverter_vtc());
-    out.push(devices::fig4_nand_modes());
-    out.push(devices::fig5_buffer_modes());
-    out.push(devices::fig6_rtd_ram());
-    out.push(fabric_figs::fig7_nand_block());
-    out.push(fabric_figs::fig8_array());
-    out.push(fabric_figs::fig9_lut_dff());
-    out.push(fabric_figs::fig10_datapath());
-    out.push(pipelines::fig11_micropipeline());
-    out.push(pipelines::fig12_ecse());
-    out.push(claims::claim_config_bits());
-    out.push(claims::claim_area());
-    out.push(claims::claim_density_power());
-    out.push(claims::claim_scaling());
-    out.push(studies::study_utilization());
-    out.push(studies::study_gals());
-    out.push(studies::study_bitserial());
-    out.push(studies::study_variation_scaled(scale.mc_samples));
-    out.push(extensions::study_defects_scaled(scale.defect_trials));
-    out.push(extensions::study_clockless_power());
-    out.push(extensions::study_general_mapper_scaled(scale.mapper_funcs));
-    out.push(extensions::study_delay_crossover());
-    out.push(extensions::study_thermal());
-    out
+    registry().into_iter().map(|(_, f)| f(scale)).collect()
+}
+
+/// Run the experiments whose id matches any filter substring (all of them
+/// when `filters` is empty), in index order.
+pub fn run_matching(filters: &[String], scale: Scale) -> Vec<Experiment> {
+    registry()
+        .into_iter()
+        .filter(|(id, _)| filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str())))
+        .map(|(_, f)| f(scale))
+        .collect()
 }
 
 #[cfg(test)]
@@ -154,5 +173,27 @@ mod tests {
         let s = format!("{e}");
         assert!(s.contains(e.id) && s.contains("paper:"));
         assert!(e.rows.iter().all(|r| s.contains(r)));
+    }
+
+    #[test]
+    fn registry_ids_match_the_experiments_they_build() {
+        // cheap subset only (the golden test runs the whole suite); the id
+        // pairing is what run_matching's filtering correctness rests on
+        for (id, f) in registry() {
+            match id {
+                "E6/Fig8" | "E11/§4" | "E12/§4-5" | "E13/§3" | "E14/§2.1" => {
+                    assert_eq!(f(Scale::fast()).id, id);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(registry().len(), 23);
+    }
+
+    #[test]
+    fn run_matching_filters_by_substring() {
+        let got = run_matching(&["E12".into(), "Fig8".into()], Scale::fast());
+        let ids: Vec<&str> = got.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec!["E6/Fig8", "E12/§4-5"]);
     }
 }

@@ -107,7 +107,7 @@ struct Mapper<'a> {
 
 impl<'a> Mapper<'a> {
     fn gate_inputs(&self, comp: usize) -> Vec<NetId> {
-        self.netlist.comps[comp].inputs()
+        self.netlist.comps[comp].inputs().collect()
     }
 
     fn eval_gate(&self, comp: usize, values: &HashMap<NetId, bool>) -> bool {

@@ -10,11 +10,26 @@
 //! Determinism: events are ordered by `(time, sequence)`; components made
 //! dirty within one timestep are evaluated in ascending id order. Two runs of
 //! the same netlist with the same stimulus produce identical traces.
+//!
+//! ## Kernel layout
+//!
+//! [`Simulator::new`] compiles the `Component` graph into CSR (compressed
+//! sparse row) arrays — fan-in (`comp → nets read`), fan-out (`net → comps
+//! reading`), and per-net driver-slot lists with the `(comp, port) → slot`
+//! arithmetic pre-applied — so the steady-state event loop touches only
+//! contiguous flat arrays. Component evaluation goes through the in-place
+//! [`crate::netlist::Component::evaluate_into`] writing into a fixed
+//! `[Logic; MAX_OUTPUTS]` scratch, net resolution takes a two-read fast path
+//! for the dominant single-driver case, and scheduling runs on the calendar
+//! queue in [`crate::queue`]. After warm-up the loop performs no heap
+//! allocation (asserted by the `kernel` benchmark's counting allocator).
+//! The pre-CSR heap-scheduled kernel survives as
+//! [`crate::reference::ReferenceSimulator`], and a differential property
+//! test pins the two to bit-identical traces.
 
 use crate::logic::Logic;
-use crate::netlist::{CompId, NetId, Netlist};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::netlist::{CompId, CompState, NetId, Netlist, MAX_OUTPUTS};
+use crate::queue::{Event, EventKey, EventQueue};
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,7 +37,8 @@ pub enum SimError {
     /// The event budget was exhausted before the queue drained — almost
     /// always an oscillating combinational loop (e.g. an odd NAND ring).
     EventLimit {
-        /// Events processed before giving up.
+        /// Events actually applied over the simulator's lifetime when it
+        /// gave up (from [`SimStats::events`], not the budget).
         events: u64,
         /// Simulation time reached.
         time: u64,
@@ -54,42 +70,12 @@ pub struct SimStats {
     pub net_toggles: u64,
     /// High-water mark of the event queue.
     pub max_queue: usize,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey {
-    time: u64,
-    seq: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    key: EventKey,
-    slot: u32,
-    value: Logic,
-    version: u32,
-    /// Generator component to re-arm after this event fires.
-    generator: Option<CompId>,
-    /// External stimulus events bypass inertial cancellation: every
-    /// pre-scheduled `drive_at` takes effect in order (transport delay).
-    forced: bool,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
+    /// Net resolutions served by the single-driver two-read fast path.
+    pub resolve_fast_hits: u64,
+    /// Events scheduled into the calendar queue's near-future wheel.
+    pub wheel_events: u64,
+    /// Events that fell beyond the wheel window into the sorted overflow.
+    pub overflow_events: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -97,6 +83,24 @@ struct Slot {
     value: Logic,
     version: u32,
     pending: Option<(u64, Logic)>,
+}
+
+/// Opaque saved simulator state: net/slot values, component state, the
+/// pending event set and the time/sequence counters. Captured by
+/// [`Simulator::snapshot`] and reapplied by [`Simulator::restore`], which
+/// reproduces the saved state bit-exactly — the vector-sweep paths use this
+/// to reset one simulator instead of re-elaborating the netlist per vector.
+/// Waveform probes ([`Simulator::watch`] traces) are *not* part of a
+/// snapshot; restore leaves them untouched.
+#[derive(Clone, Debug)]
+pub struct SimSnapshot {
+    values: Vec<Logic>,
+    slots: Vec<Slot>,
+    comp_states: Vec<CompState>,
+    events: Vec<Event>,
+    time: u64,
+    seq: u64,
+    stats: SimStats,
 }
 
 /// The event-driven simulator. Owns the netlist (components carry state).
@@ -107,13 +111,26 @@ pub struct Simulator {
     /// Driver slots: one per component output port, then one external slot
     /// per net (for primary-input stimulus).
     slots: Vec<Slot>,
+    /// CSR fan-in: nets read by component `c` are
+    /// `fanin[fanin_off[c]..fanin_off[c+1]]`.
+    fanin_off: Vec<u32>,
+    fanin: Vec<NetId>,
+    /// CSR fan-out: components reading net `n` are
+    /// `fanout[fanout_off[n]..fanout_off[n+1]]` (deduplicated).
+    fanout_off: Vec<u32>,
+    fanout: Vec<CompId>,
+    /// CSR driver slots: slot indices driving net `n` are
+    /// `driver_slot[driver_off[n]..driver_off[n+1]]`, with the
+    /// `comp_slot_base + port` arithmetic pre-applied.
+    driver_off: Vec<u32>,
+    driver_slot: Vec<u32>,
     /// Slot index of each net's external driver.
     external_slot: Vec<u32>,
     /// slot -> net it drives.
     slot_net: Vec<NetId>,
     /// (comp, port) -> slot, laid out as comp-major prefix sums.
     comp_slot_base: Vec<u32>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     time: u64,
     seq: u64,
     stats: SimStats,
@@ -151,13 +168,44 @@ impl Simulator {
             slot_net.push(NetId(i as u32));
         }
 
+        // CSR compilation: flatten the per-net Vec connectivity into
+        // contiguous offset/value arrays the hot loop can walk without
+        // pointer-chasing.
+        let mut fanin_off = Vec::with_capacity(n_comps + 1);
+        let mut fanin = Vec::new();
+        fanin_off.push(0u32);
+        for comp in &netlist.comps {
+            fanin.extend(comp.inputs());
+            fanin_off.push(fanin.len() as u32);
+        }
+        let mut fanout_off = Vec::with_capacity(n_nets + 1);
+        let mut fanout = Vec::new();
+        let mut driver_off = Vec::with_capacity(n_nets + 1);
+        let mut driver_slot = Vec::new();
+        fanout_off.push(0u32);
+        driver_off.push(0u32);
+        for net in &netlist.nets {
+            fanout.extend_from_slice(&net.fanout);
+            fanout_off.push(fanout.len() as u32);
+            for d in &net.drivers {
+                driver_slot.push(comp_slot_base[d.comp.0 as usize] + d.port as u32);
+            }
+            driver_off.push(driver_slot.len() as u32);
+        }
+
         let mut sim = Simulator {
             values: vec![Logic::Z; n_nets],
             slots: vec![Slot::default(); slot_net.len()],
+            fanin_off,
+            fanin,
+            fanout_off,
+            fanout,
+            driver_off,
+            driver_slot,
             external_slot,
             slot_net,
             comp_slot_base,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(0),
             time: 0,
             seq: 0,
             stats: SimStats::default(),
@@ -174,11 +222,11 @@ impl Simulator {
         // Inject generators' initial values (a clock rests at its start
         // level before its first edge) so downstream state elements see a
         // definite pre-edge level at t=0.
+        let mut out = [Logic::Z; MAX_OUTPUTS];
         for c in 0..n_comps {
             if sim.netlist.comps[c].is_generator() {
-                let values = &sim.values;
-                let outs = sim.netlist.comps[c].evaluate(|n| values[n.0 as usize]);
-                for (port, value) in outs {
+                let nports = sim.netlist.comps[c].evaluate_into(&sim.values, &mut out);
+                for (port, &value) in out.iter().enumerate().take(nports) {
                     let slot = sim.comp_slot_base[c] + port as u32;
                     sim.slots[slot as usize].value = value;
                     let net = sim.slot_net[slot as usize];
@@ -213,6 +261,18 @@ impl Simulator {
     /// Kernel statistics so far.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Nets read by a component (compiled CSR fan-in).
+    pub fn fanin(&self, comp: CompId) -> &[NetId] {
+        let c = comp.0 as usize;
+        &self.fanin[self.fanin_off[c] as usize..self.fanin_off[c + 1] as usize]
+    }
+
+    /// Components reading a net (compiled CSR fan-out, deduplicated).
+    pub fn fanout(&self, net: NetId) -> &[CompId] {
+        let n = net.0 as usize;
+        &self.fanout[self.fanout_off[n] as usize..self.fanout_off[n + 1] as usize]
     }
 
     /// Resolved value of a net.
@@ -251,14 +311,7 @@ impl Simulator {
         let slot = self.external_slot[net.0 as usize];
         let key = EventKey { time, seq: self.seq };
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            key,
-            slot,
-            value,
-            version: 0,
-            generator: None,
-            forced: true,
-        }));
+        self.push_event(Event { key, slot, value, version: 0, generator: None, forced: true });
     }
 
     /// Release a previously driven net back to high impedance.
@@ -266,21 +319,60 @@ impl Simulator {
         self.drive(net, Logic::Z);
     }
 
+    /// Capture the complete simulation state (values, slots, component
+    /// state, pending events, counters). See [`SimSnapshot`].
+    pub fn snapshot(&self) -> SimSnapshot {
+        debug_assert!(self.dirty_nets.is_empty() && self.dirty_comps.is_empty());
+        SimSnapshot {
+            values: self.values.clone(),
+            slots: self.slots.clone(),
+            comp_states: self.netlist.comps.iter().map(|c| c.save_state()).collect(),
+            events: self.queue.events_sorted(),
+            time: self.time,
+            seq: self.seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Rewind to a snapshot taken from this simulator. Every subsequent
+    /// stimulus/run sequence replays bit-identically to the first time.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        assert_eq!(snap.values.len(), self.values.len(), "snapshot from a different netlist");
+        assert_eq!(snap.slots.len(), self.slots.len(), "snapshot from a different netlist");
+        self.values.copy_from_slice(&snap.values);
+        self.slots.copy_from_slice(&snap.slots);
+        for (c, s) in self.netlist.comps.iter_mut().zip(&snap.comp_states) {
+            c.load_state(*s);
+        }
+        self.time = snap.time;
+        self.seq = snap.seq;
+        self.stats = snap.stats;
+        // Pending events all lie at or after the snapshot time (the kernel
+        // never leaves a past event queued), so the wheel can restart there.
+        self.queue.reset(snap.time);
+        for ev in &snap.events {
+            self.queue.push(*ev);
+        }
+        for n in &self.dirty_nets {
+            self.net_dirty_flag[*n as usize] = false;
+        }
+        self.dirty_nets.clear();
+        for c in &self.dirty_comps {
+            self.comp_dirty_flag[*c as usize] = false;
+        }
+        self.dirty_comps.clear();
+    }
+
     /// Advance until `deadline` (inclusive), or until the queue drains.
     /// `max_events` bounds runaway oscillation.
     pub fn run_until(&mut self, deadline: u64, max_events: u64) -> Result<(), SimError> {
         let mut budget = max_events;
-        #[allow(clippy::while_let_loop)] // borrow of queue must end before step
-        loop {
-            let next_time = match self.queue.peek() {
-                Some(Reverse(ev)) => ev.key.time,
-                None => break,
-            };
-            if next_time > deadline {
+        while let Some(key) = self.queue.peek_key() {
+            if key.time > deadline {
                 break;
             }
             if budget == 0 {
-                return Err(SimError::EventLimit { events: max_events, time: self.time });
+                return Err(SimError::EventLimit { events: self.stats.events, time: self.time });
             }
             let spent = self.step_one_timestamp();
             budget = budget.saturating_sub(spent);
@@ -296,7 +388,7 @@ impl Simulator {
         let mut budget = max_events;
         while !self.queue.is_empty() {
             if budget == 0 {
-                return Err(SimError::EventLimit { events: max_events, time: self.time });
+                return Err(SimError::EventLimit { events: self.stats.events, time: self.time });
             }
             let spent = self.step_one_timestamp();
             budget = budget.saturating_sub(spent);
@@ -307,17 +399,17 @@ impl Simulator {
     /// Apply every event sharing the earliest timestamp, then re-evaluate
     /// affected components once. Returns the number of events applied.
     fn step_one_timestamp(&mut self) -> u64 {
-        let t = match self.queue.peek() {
-            Some(Reverse(ev)) => ev.key.time,
+        let t = match self.queue.peek_key() {
+            Some(key) => key.time,
             None => return 0,
         };
         self.time = t;
         let mut applied = 0u64;
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.key.time != t {
+        while let Some(key) = self.queue.peek_key() {
+            if key.time != t {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let ev = self.queue.pop().expect("peeked");
             let slot = &mut self.slots[ev.slot as usize];
             if !ev.forced {
                 if ev.version != slot.version {
@@ -339,38 +431,58 @@ impl Simulator {
                 self.arm_generator(g);
             }
         }
-        // Recompute resolved values for dirty nets.
-        let dirty_nets = std::mem::take(&mut self.dirty_nets);
-        for n in &dirty_nets {
-            self.net_dirty_flag[*n as usize] = false;
-            let resolved = self.resolve_net(NetId(*n));
-            if resolved != self.values[*n as usize] {
-                self.values[*n as usize] = resolved;
+        // Recompute resolved values for dirty nets, walking the list in
+        // place (nothing is appended during resolution).
+        let mut di = 0;
+        while di < self.dirty_nets.len() {
+            let n = self.dirty_nets[di] as usize;
+            di += 1;
+            self.net_dirty_flag[n] = false;
+            let resolved = self.resolve_net(NetId(n as u32));
+            if resolved != self.values[n] {
+                self.values[n] = resolved;
                 self.stats.net_toggles += 1;
-                if let Some(tr) = &mut self.traces[*n as usize] {
+                if let Some(tr) = &mut self.traces[n] {
                     tr.push((t, resolved));
                 }
-                for f in 0..self.netlist.nets[*n as usize].fanout.len() {
-                    let cid = self.netlist.nets[*n as usize].fanout[f];
-                    self.mark_comp_dirty(cid.0);
+                let start = self.fanout_off[n] as usize;
+                let end = self.fanout_off[n + 1] as usize;
+                for fi in start..end {
+                    let c = self.fanout[fi].0;
+                    if !self.comp_dirty_flag[c as usize] {
+                        self.comp_dirty_flag[c as usize] = true;
+                        self.dirty_comps.push(c);
+                    }
                 }
             }
         }
-        self.dirty_nets = dirty_nets;
         self.dirty_nets.clear();
         self.eval_dirty_comps();
         self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
         applied.max(1)
     }
 
-    fn resolve_net(&self, net: NetId) -> Logic {
-        let n = &self.netlist.nets[net.0 as usize];
-        let mut acc = self.slots[self.external_slot[net.0 as usize] as usize].value;
-        for d in &n.drivers {
-            let slot = self.comp_slot_base[d.comp.0 as usize] + d.port as u32;
-            acc = acc.resolve(self.slots[slot as usize].value);
+    fn resolve_net(&mut self, net: NetId) -> Logic {
+        let i = net.0 as usize;
+        let ext = self.slots[self.external_slot[i] as usize].value;
+        let start = self.driver_off[i] as usize;
+        let end = self.driver_off[i + 1] as usize;
+        match end - start {
+            0 => ext,
+            1 => {
+                // The dominant case — one component driver plus the external
+                // slot — resolves with exactly two slot reads.
+                self.stats.resolve_fast_hits += 1;
+                ext.resolve(self.slots[self.driver_slot[start] as usize].value)
+            }
+            _ => {
+                let mut acc = ext;
+                for &ds in &self.driver_slot[start..end] {
+                    acc = acc.resolve(self.slots[ds as usize].value);
+                }
+                acc
+            }
         }
-        acc
     }
 
     fn mark_comp_dirty(&mut self, comp: u32) {
@@ -381,25 +493,28 @@ impl Simulator {
     }
 
     fn eval_dirty_comps(&mut self) {
-        let mut dirty = std::mem::take(&mut self.dirty_comps);
-        dirty.sort_unstable();
+        // Ascending component id is the documented intra-timestep
+        // determinism rule.
+        self.dirty_comps.sort_unstable();
         let now = self.time;
-        for c in &dirty {
-            self.comp_dirty_flag[*c as usize] = false;
-            if self.netlist.comps[*c as usize].is_generator() {
+        let mut out = [Logic::Z; MAX_OUTPUTS];
+        let mut di = 0;
+        while di < self.dirty_comps.len() {
+            let c = self.dirty_comps[di] as usize;
+            di += 1;
+            self.comp_dirty_flag[c] = false;
+            if self.netlist.comps[c].is_generator() {
                 continue; // generators schedule themselves
             }
             self.stats.evals += 1;
-            let values = &self.values;
-            let outputs = self.netlist.comps[*c as usize].evaluate(|n| values[n.0 as usize]);
-            let delay = self.netlist.delays[*c as usize].max(1);
-            for (port, value) in outputs {
-                let slot = self.comp_slot_base[*c as usize] + port as u32;
-                self.schedule(slot, value, now + delay, None);
+            let nports = self.netlist.comps[c].evaluate_into(&self.values, &mut out);
+            let delay = self.netlist.delays[c].max(1);
+            let base = self.comp_slot_base[c];
+            for (port, &value) in out.iter().enumerate().take(nports) {
+                self.schedule(base + port as u32, value, now + delay, None);
             }
         }
-        dirty.clear();
-        self.dirty_comps = dirty;
+        self.dirty_comps.clear();
     }
 
     fn arm_generator(&mut self, comp: CompId) {
@@ -409,20 +524,22 @@ impl Simulator {
             let slot_ref = &mut self.slots[slot as usize];
             slot_ref.version = slot_ref.version.wrapping_add(1);
             slot_ref.pending = Some((t, value));
+            let version = slot_ref.version;
             let key = EventKey { time: t.max(now), seq: self.seq };
             self.seq += 1;
-            self.queue.push(Reverse(Event {
+            self.push_event(Event {
                 key,
                 slot,
                 value,
-                version: slot_ref.version,
+                version,
                 generator: Some(comp),
                 forced: false,
-            }));
+            });
         }
     }
 
-    /// Single-pending inertial scheduling.
+    /// Single-pending inertial scheduling. Cancellation is O(1): bumping the
+    /// slot version orphans the queued event, which the pop loop skips.
     fn schedule(&mut self, slot: u32, value: Logic, time: u64, generator: Option<CompId>) {
         let s = &mut self.slots[slot as usize];
         match s.pending {
@@ -442,16 +559,18 @@ impl Simulator {
             }
         }
         s.pending = Some((time, value));
+        let version = s.version;
         let key = EventKey { time, seq: self.seq };
         self.seq += 1;
-        self.queue.push(Reverse(Event {
-            key,
-            slot,
-            value,
-            version: s.version,
-            generator,
-            forced: false,
-        }));
+        self.push_event(Event { key, slot, value, version, generator, forced: false });
+    }
+
+    fn push_event(&mut self, ev: Event) {
+        if self.queue.push(ev) {
+            self.stats.overflow_events += 1;
+        } else {
+            self.stats.wheel_events += 1;
+        }
     }
 }
 
@@ -560,6 +679,23 @@ mod tests {
     }
 
     #[test]
+    fn event_limit_reports_actual_event_count() {
+        let (nl, en, _a) = gated_ring(5);
+        let mut sim = Simulator::new(nl);
+        sim.drive(en, Logic::L0);
+        sim.settle(1_000).unwrap();
+        sim.drive(en, Logic::L1);
+        let budget = 10_000;
+        let err = sim.settle(budget).unwrap_err();
+        let SimError::EventLimit { events, time } = err;
+        // The reported count is what the simulator actually applied (its
+        // lifetime stats), not the caller's budget.
+        assert_eq!(events, sim.stats().events);
+        assert_eq!(time, sim.time());
+        assert_ne!(events, budget, "must not echo the budget back");
+    }
+
+    #[test]
     fn ring_oscillator_period_via_run_until() {
         // 3 stages x 5ps: half-period = 3 * 5 = 15ps.
         let (nl, en, a) = gated_ring(5);
@@ -625,6 +761,27 @@ mod tests {
         assert_eq!(tr[1], (10, Logic::L1), "first edge at phase");
         assert_eq!(tr[2], (60, Logic::L0));
         assert_eq!(tr[3], (110, Logic::L1));
+    }
+
+    #[test]
+    fn slow_clock_exercises_overflow_path() {
+        // Half-period far beyond the wheel window: every edge is scheduled
+        // through the sorted overflow and refilled as the window advances.
+        let mut nl = Netlist::new();
+        let clk = nl.add_net("clk");
+        nl.add_comp(
+            Component::Clock { output: clk, half_period: 7_000, phase: 3_000, value: Logic::L0 },
+            1,
+        );
+        let mut sim = Simulator::new(nl);
+        sim.watch(clk);
+        sim.run_until(40_000, 100_000).unwrap();
+        let tr: Vec<_> = sim.trace(clk).iter().filter(|(_, v)| v.is_definite()).cloned().collect();
+        assert_eq!(tr[0], (0, Logic::L0));
+        assert_eq!(tr[1], (3_000, Logic::L1));
+        assert_eq!(tr[2], (10_000, Logic::L0));
+        assert_eq!(tr[3], (17_000, Logic::L1));
+        assert!(sim.stats().overflow_events > 0, "edges must traverse the overflow heap");
     }
 
     #[test]
@@ -696,5 +853,92 @@ mod tests {
             sim.trace(d).to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn csr_accessors_match_netlist_connectivity() {
+        let mut nl = Netlist::new();
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        let z = nl.add_net("z");
+        let g0 = nl.add_comp(Component::Nand { inputs: vec![a, b], output: y }, 5);
+        let g1 = nl.add_comp(Component::Inv { input: y, output: z }, 5);
+        let sim = Simulator::new(nl);
+        assert_eq!(sim.fanin(g0), &[a, b]);
+        assert_eq!(sim.fanin(g1), &[y]);
+        assert_eq!(sim.fanout(a), &[g0]);
+        assert_eq!(sim.fanout(y), &[g1]);
+        assert_eq!(sim.fanout(z), &[] as &[CompId]);
+    }
+
+    #[test]
+    fn resolve_fast_path_dominates_single_driver_nets() {
+        let (nl, a, b, _y) = nand2();
+        let mut sim = Simulator::new(nl);
+        sim.drive(a, Logic::L1);
+        sim.drive(b, Logic::L1);
+        sim.settle(1000).unwrap();
+        assert!(sim.stats().resolve_fast_hits > 0, "y has exactly one driver");
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        // A clocked feedback circuit with a Dff, so component state,
+        // pending generator events and slot versions all matter.
+        let build = || {
+            let mut nl = Netlist::new();
+            let d = nl.add_net("d");
+            let clk = nl.add_net("clk");
+            let q = nl.add_net("q");
+            let nq = nl.add_net("nq");
+            nl.add_comp(
+                Component::Clock { output: clk, half_period: 40, phase: 25, value: Logic::L0 },
+                1,
+            );
+            nl.add_comp(
+                Component::Dff { d, clk, reset_n: None, q, last_clk: Logic::X, state: Logic::L0 },
+                7,
+            );
+            nl.add_comp(Component::Inv { input: q, output: nq }, 3);
+            (nl, d, q, nq)
+        };
+        let (nl, d, q, nq) = build();
+        let mut sim = Simulator::new(nl);
+        sim.drive(d, Logic::L1);
+        sim.run_until(100, 100_000).unwrap();
+        let snap = sim.snapshot();
+        let go = |sim: &mut Simulator| {
+            sim.drive(d, Logic::L0);
+            sim.run_until(500, 100_000).unwrap();
+            (sim.value(q), sim.value(nq), sim.time(), sim.stats())
+        };
+        let first = go(&mut sim);
+        sim.restore(&snap);
+        let second = go(&mut sim);
+        assert_eq!(first, second, "restored run must replay bit-identically");
+    }
+
+    #[test]
+    fn snapshot_restore_equals_fresh_simulator() {
+        // Restoring a t=0 snapshot must be indistinguishable from building
+        // a new Simulator — the contract the sweep paths rely on.
+        let (nl, a, b, y) = nand2();
+        let mut reused = Simulator::new(nl.clone());
+        let snap = reused.snapshot();
+        for vector in 0..4u8 {
+            let (va, vb) = (Logic::from_bool(vector & 1 == 1), Logic::from_bool(vector & 2 == 2));
+            reused.restore(&snap);
+            reused.drive(a, va);
+            reused.drive(b, vb);
+            reused.settle(1000).unwrap();
+            let mut fresh = Simulator::new(nl.clone());
+            fresh.drive(a, va);
+            fresh.drive(b, vb);
+            fresh.settle(1000).unwrap();
+            assert_eq!(reused.value(y), fresh.value(y));
+            assert_eq!(reused.stats().events, fresh.stats().events);
+            assert_eq!(reused.time(), fresh.time());
+        }
     }
 }

@@ -40,6 +40,11 @@ pub struct Levelized {
     netlist: Netlist,
     /// Component indices in evaluation order.
     order: Vec<u32>,
+    /// Output net of each ordered component (all accepted kinds are
+    /// single-output), so `eval` never queries `outputs()`.
+    out_net: Vec<u32>,
+    /// Net-value buffer reused across `eval` calls.
+    values: Vec<Logic>,
 }
 
 impl Levelized {
@@ -72,7 +77,7 @@ impl Levelized {
             // count each distinct driven input net once — a gate may list
             // the same net twice (e.g. NAND(x, x)), but a net's fanout list
             // is deduplicated, so it only decrements once
-            let mut ins = comp.inputs();
+            let mut ins: Vec<NetId> = comp.inputs().collect();
             ins.sort_unstable();
             ins.dedup();
             indegree[i] = ins
@@ -102,29 +107,27 @@ impl Levelized {
             let out = netlist.comps[blocked].outputs()[0];
             return Err(LevelizeError::Cycle(out));
         }
-        Ok(Levelized { netlist, order })
+        let out_net = order.iter().map(|&c| netlist.comps[c as usize].outputs()[0].0).collect();
+        let values = vec![Logic::X; netlist.net_count()];
+        Ok(Levelized { netlist, order, out_net, values })
     }
 
     /// Evaluate one input assignment. `inputs` pairs nets with values;
     /// undriven nets not listed read as `X`. Returns the full net-value
-    /// vector (index by `NetId`).
-    pub fn eval(&mut self, inputs: &[(NetId, Logic)]) -> Vec<Logic> {
-        let mut values = vec![Logic::X; self.netlist.net_count()];
+    /// vector (index by `NetId`), borrowed from an internal buffer that is
+    /// reused across calls — the sweep loop allocates nothing per vector.
+    pub fn eval(&mut self, inputs: &[(NetId, Logic)]) -> &[Logic] {
+        self.values.fill(Logic::X);
         for &(n, v) in inputs {
-            values[n.0 as usize] = v;
+            self.values[n.0 as usize] = v;
         }
-        for &c in &self.order {
-            // components here are stateless; evaluate reads values only
-            let outs = {
-                let values_ref = &values;
-                self.netlist.comps[c as usize].evaluate(|n| values_ref[n.0 as usize])
-            };
-            let out_nets = self.netlist.comps[c as usize].outputs();
-            for (port, v) in outs {
-                values[out_nets[port as usize].0 as usize] = v;
-            }
+        let mut out = [Logic::Z; crate::netlist::MAX_OUTPUTS];
+        for (k, &c) in self.order.iter().enumerate() {
+            // components here are stateless; evaluate_into reads values only
+            self.netlist.comps[c as usize].evaluate_into(&self.values, &mut out);
+            self.values[self.out_net[k] as usize] = out[0];
         }
-        values
+        &self.values
     }
 
     /// The underlying netlist.

@@ -27,12 +27,15 @@ pub mod levelized;
 pub mod logic;
 pub mod measure;
 pub mod netlist;
+mod queue;
+#[doc(hidden)]
+pub mod reference;
 pub mod timing;
 pub mod vcd;
 pub mod vectors;
 
 pub use builder::NetlistBuilder;
-pub use engine::{SimError, SimStats, Simulator};
+pub use engine::{SimError, SimSnapshot, SimStats, Simulator};
 pub use levelized::{LevelizeError, Levelized};
 pub use logic::Logic;
-pub use netlist::{CompId, Component, DriveMode, NetId, Netlist, PortRef};
+pub use netlist::{CompId, CompState, Component, DriveMode, NetId, Netlist, PortRef};

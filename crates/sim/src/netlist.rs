@@ -82,30 +82,102 @@ pub enum Component {
     Mutex { r1: NetId, r2: NetId, g1: NetId, g2: NetId, owner: u8 },
 }
 
+/// Maximum number of output ports any component kind can have (`Mutex` has
+/// two); sizes the fixed evaluation scratch buffers so the hot loop never
+/// allocates.
+pub const MAX_OUTPUTS: usize = 2;
+
+/// Borrowed, allocation-free iterator over a component's input nets.
+///
+/// Gate variants yield straight from their stored slice; fixed-arity
+/// components yield from an inline array. Either way no `Vec` is built,
+/// so netlist finalization and the builder stop allocating per query.
+#[derive(Debug, Clone)]
+pub enum InputIter<'a> {
+    /// Inputs stored as a slice (the N-input gate variants).
+    Slice(std::slice::Iter<'a, NetId>),
+    /// Up to three inline input nets.
+    Fixed {
+        /// The nets, valid up to `len`.
+        nets: [NetId; 3],
+        /// Number of valid entries.
+        len: u8,
+        /// Next entry to yield.
+        next: u8,
+    },
+}
+
+impl InputIter<'_> {
+    fn fixed(nets: &[NetId]) -> Self {
+        let mut buf = [NetId(0); 3];
+        buf[..nets.len()].copy_from_slice(nets);
+        InputIter::Fixed { nets: buf, len: nets.len() as u8, next: 0 }
+    }
+}
+
+impl Iterator for InputIter<'_> {
+    type Item = NetId;
+
+    fn next(&mut self) -> Option<NetId> {
+        match self {
+            InputIter::Slice(it) => it.next().copied(),
+            InputIter::Fixed { nets, len, next } => {
+                if next < len {
+                    let n = nets[*next as usize];
+                    *next += 1;
+                    Some(n)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            InputIter::Slice(it) => it.len(),
+            InputIter::Fixed { len, next, .. } => (*len - *next) as usize,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for InputIter<'_> {}
+
+/// Compact snapshot of a component's mutable state (flip-flop contents,
+/// C-element keepers, generator cursors). [`Component::save_state`] /
+/// [`Component::load_state`] let the simulator's sweep path reset a
+/// circuit without recloning the whole netlist.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct CompState {
+    a: Logic,
+    b: Logic,
+    n: u64,
+}
+
 impl Component {
-    /// Nets read by this component.
-    pub fn inputs(&self) -> Vec<NetId> {
+    /// Nets read by this component (borrowed; no allocation).
+    pub fn inputs(&self) -> InputIter<'_> {
         match self {
             Component::Nand { inputs, .. }
             | Component::Nor { inputs, .. }
             | Component::And { inputs, .. }
             | Component::Or { inputs, .. }
-            | Component::Xor { inputs, .. } => inputs.clone(),
-            Component::Inv { input, .. } | Component::Buf { input, .. } => vec![*input],
-            Component::TriBuf { input, enable, .. } => vec![*input, *enable],
+            | Component::Xor { inputs, .. } => InputIter::Slice(inputs.iter()),
+            Component::Inv { input, .. } | Component::Buf { input, .. } => {
+                InputIter::fixed(&[*input])
+            }
+            Component::TriBuf { input, enable, .. } => InputIter::fixed(&[*input, *enable]),
             Component::Const { .. } | Component::Clock { .. } | Component::Stimulus { .. } => {
-                vec![]
+                InputIter::fixed(&[])
             }
-            Component::CElement { a, b, .. } => vec![*a, *b],
-            Component::Dff { d, clk, reset_n, .. } => {
-                let mut v = vec![*d, *clk];
-                if let Some(r) = reset_n {
-                    v.push(*r);
-                }
-                v
-            }
-            Component::Latch { d, en, .. } => vec![*d, *en],
-            Component::Mutex { r1, r2, .. } => vec![*r1, *r2],
+            Component::CElement { a, b, .. } => InputIter::fixed(&[*a, *b]),
+            Component::Dff { d, clk, reset_n, .. } => match reset_n {
+                Some(r) => InputIter::fixed(&[*d, *clk, *r]),
+                None => InputIter::fixed(&[*d, *clk]),
+            },
+            Component::Latch { d, en, .. } => InputIter::fixed(&[*d, *en]),
+            Component::Mutex { r1, r2, .. } => InputIter::fixed(&[*r1, *r2]),
         }
     }
 
@@ -250,6 +322,189 @@ impl Component {
                 }
                 vec![(0, Logic::from_bool(*owner == 1)), (1, Logic::from_bool(*owner == 2))]
             }
+        }
+    }
+
+    /// In-place evaluation: like [`Component::evaluate`] but reads resolved
+    /// net values straight from a slice and writes outputs into a fixed
+    /// scratch buffer (port `p`'s value lands in `out[p]`), returning the
+    /// number of output ports. This is the simulation kernel's hot path —
+    /// no closure dispatch, no `Vec` per evaluation. The closure-based
+    /// `evaluate` stays as the reference implementation; the differential
+    /// kernel test pins the two together.
+    pub fn evaluate_into(&mut self, values: &[Logic], out: &mut [Logic; MAX_OUTPUTS]) -> usize {
+        #[inline]
+        fn read(values: &[Logic], n: NetId) -> Logic {
+            values[n.0 as usize]
+        }
+        match self {
+            Component::Nand { inputs, .. } => {
+                out[0] = Logic::nand_all(inputs.iter().map(|&n| read(values, n)));
+                1
+            }
+            Component::Nor { inputs, .. } => {
+                let mut acc = Logic::L0;
+                for &n in inputs.iter() {
+                    acc = acc.or(read(values, n));
+                }
+                out[0] = acc.not();
+                1
+            }
+            Component::And { inputs, .. } => {
+                let mut acc = Logic::L1;
+                for &n in inputs.iter() {
+                    acc = acc.and(read(values, n));
+                }
+                out[0] = acc;
+                1
+            }
+            Component::Or { inputs, .. } => {
+                let mut acc = Logic::L0;
+                for &n in inputs.iter() {
+                    acc = acc.or(read(values, n));
+                }
+                out[0] = acc;
+                1
+            }
+            Component::Xor { inputs, .. } => {
+                let mut acc = Logic::L0;
+                for &n in inputs.iter() {
+                    acc = acc.xor(read(values, n));
+                }
+                out[0] = acc;
+                1
+            }
+            Component::Inv { input, .. } => {
+                out[0] = read(values, *input).not();
+                1
+            }
+            Component::Buf { input, .. } => {
+                out[0] = read(values, *input).input();
+                1
+            }
+            Component::TriBuf { input, enable, mode, .. } => {
+                out[0] = match read(values, *enable).input() {
+                    Logic::L1 => {
+                        let i = read(values, *input).input();
+                        match mode {
+                            DriveMode::NonInverting => i,
+                            DriveMode::Inverting => i.not(),
+                        }
+                    }
+                    Logic::L0 => Logic::Z,
+                    _ => Logic::X,
+                };
+                1
+            }
+            Component::Const { value, .. } => {
+                out[0] = *value;
+                1
+            }
+            Component::CElement { a, b, state, .. } => {
+                let (va, vb) = (read(values, *a).input(), read(values, *b).input());
+                let next = match (va, vb) {
+                    (Logic::L1, Logic::L1) => Logic::L1,
+                    (Logic::L0, Logic::L0) => Logic::L0,
+                    _ => *state,
+                };
+                *state = next;
+                out[0] = next;
+                1
+            }
+            Component::Dff { d, clk, reset_n, last_clk, state, .. } => {
+                let c = read(values, *clk).input();
+                let rising = *last_clk == Logic::L0 && c == Logic::L1;
+                *last_clk = c;
+                if let Some(r) = reset_n {
+                    if read(values, *r).input() == Logic::L0 {
+                        *state = Logic::L0;
+                        out[0] = *state;
+                        return 1;
+                    }
+                }
+                if rising {
+                    *state = read(values, *d).input();
+                }
+                out[0] = *state;
+                1
+            }
+            Component::Latch { d, en, state, .. } => {
+                match read(values, *en).input() {
+                    Logic::L1 => *state = read(values, *d).input(),
+                    Logic::L0 => {}
+                    _ => *state = Logic::X,
+                }
+                out[0] = *state;
+                1
+            }
+            Component::Clock { value, .. } => {
+                out[0] = *value;
+                1
+            }
+            Component::Stimulus { events, next, .. } => {
+                out[0] = if *next == 0 { Logic::X } else { events[*next - 1].1 };
+                1
+            }
+            Component::Mutex { r1, r2, g1: _, g2: _, owner } => {
+                let (a, b) = (read(values, *r1).input(), read(values, *r2).input());
+                match *owner {
+                    1 if a != Logic::L1 => *owner = 0,
+                    2 if b != Logic::L1 => *owner = 0,
+                    _ => {}
+                }
+                if *owner == 0 {
+                    if a == Logic::L1 {
+                        *owner = 1;
+                    } else if b == Logic::L1 {
+                        *owner = 2;
+                    }
+                }
+                out[0] = Logic::from_bool(*owner == 1);
+                out[1] = Logic::from_bool(*owner == 2);
+                2
+            }
+        }
+    }
+
+    /// Number of output ports (compile-time property of the component kind).
+    pub fn output_count(&self) -> usize {
+        match self {
+            Component::Mutex { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Capture the component's mutable state (see [`CompState`]). Stateless
+    /// components return the default.
+    pub fn save_state(&self) -> CompState {
+        match self {
+            Component::CElement { state, .. } | Component::Latch { state, .. } => {
+                CompState { a: *state, ..CompState::default() }
+            }
+            Component::Dff { last_clk, state, .. } => CompState { a: *last_clk, b: *state, n: 0 },
+            Component::Clock { value, .. } => CompState { a: *value, ..CompState::default() },
+            Component::Stimulus { next, .. } => {
+                CompState { n: *next as u64, ..CompState::default() }
+            }
+            Component::Mutex { owner, .. } => {
+                CompState { n: *owner as u64, ..CompState::default() }
+            }
+            _ => CompState::default(),
+        }
+    }
+
+    /// Restore state captured by [`Component::save_state`].
+    pub fn load_state(&mut self, s: CompState) {
+        match self {
+            Component::CElement { state, .. } | Component::Latch { state, .. } => *state = s.a,
+            Component::Dff { last_clk, state, .. } => {
+                *last_clk = s.a;
+                *state = s.b;
+            }
+            Component::Clock { value, .. } => *value = s.a,
+            Component::Stimulus { next, .. } => *next = s.n as usize,
+            Component::Mutex { owner, .. } => *owner = s.n as u8,
+            _ => {}
         }
     }
 

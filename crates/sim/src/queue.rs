@@ -1,0 +1,380 @@
+//! Calendar-queue event scheduler: a timing wheel for the near future plus
+//! a sorted overflow heap for far-future events.
+//!
+//! The wheel covers a sliding window of [`WHEEL_SLOTS`] consecutive
+//! picoseconds starting at `base`. Within the window, bucket `time & MASK`
+//! holds every event for exactly one timestamp (the window is one wheel
+//! revolution wide, so the mapping is injective), and events arrive in
+//! ascending global sequence number — which makes each bucket a ready-sorted
+//! FIFO and `pop` O(1) plus a short occupancy-bitmap scan. Events beyond the
+//! window go to a `BinaryHeap` ordered by `(time, seq)`.
+//!
+//! Ordering invariants (these are what keep traces bit-identical to the old
+//! global-heap scheduler):
+//!
+//! * `base` never decreases, and every queued event has `time >= base`
+//!   (the engine never schedules in the past).
+//! * The overflow heap never holds an event inside the current window:
+//!   `pop` refills eagerly whenever it advances `base`, so a refilled
+//!   (lower-sequence) event is always in its bucket before any later live
+//!   push of the same timestamp can append behind it.
+//! * Only the minimum bucket is ever drained, and a timestamp's bucket is
+//!   fully consumed before the engine moves on, so the single drain cursor
+//!   is always either 0 or inside the minimum bucket. Events pushed *at*
+//!   the timestamp being drained (stimulus re-arms) append behind the
+//!   cursor and are still delivered, exactly like the heap did.
+
+use crate::logic::Logic;
+use crate::netlist::CompId;
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Width of the near-future window in picoseconds (power of two).
+pub(crate) const WHEEL_SLOTS: usize = 256;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+const WORDS: usize = WHEEL_SLOTS / 64;
+
+/// Total event order: time, then scheduling sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EventKey {
+    pub time: u64,
+    pub seq: u64,
+}
+
+/// A scheduled driver-slot transition.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub key: EventKey,
+    pub slot: u32,
+    pub value: Logic,
+    pub version: u32,
+    /// Generator component to re-arm after this event fires.
+    pub generator: Option<CompId>,
+    /// External stimulus events bypass inertial cancellation: every
+    /// pre-scheduled `drive_at` takes effect in order (transport delay).
+    pub forced: bool,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The scheduler. See the module docs for the ordering invariants.
+pub(crate) struct EventQueue {
+    buckets: Vec<Vec<Event>>,
+    /// One bit per bucket; a set bit means the bucket has undrained events.
+    occupancy: [u64; WORDS],
+    overflow: BinaryHeap<Reverse<Event>>,
+    /// Start of the wheel window; equals the minimum pending timestamp
+    /// while a timestamp is being drained.
+    base: u64,
+    /// Drain position inside the minimum bucket (0 for all others).
+    cursor: usize,
+    len: usize,
+    /// Cached index of the first occupied bucket (`usize::MAX` = unknown).
+    /// The engine peeks and pops in tight alternation; without this cache
+    /// every call would re-scan the occupancy bitmap. Invariant: when set,
+    /// it *is* the first occupied bucket — maintained on push (circular
+    /// min) and invalidated when its bucket drains (recomputed lazily).
+    min_bucket: Cell<usize>,
+}
+
+const UNKNOWN: usize = usize::MAX;
+
+impl EventQueue {
+    pub fn new(base: u64) -> Self {
+        EventQueue {
+            buckets: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; WORDS],
+            overflow: BinaryHeap::new(),
+            base,
+            cursor: 0,
+            len: 0,
+            min_bucket: Cell::new(UNKNOWN),
+        }
+    }
+
+    /// Record a wheel insertion at `idx` in the min-bucket cache: keep
+    /// whichever of the cached bucket and `idx` comes first in circular
+    /// order from `base`. (An unknown cache stays unknown — a scan will
+    /// resolve it lazily.)
+    #[inline]
+    fn note_insert(&self, idx: usize) {
+        let cur = self.min_bucket.get();
+        if cur == UNKNOWN || cur == idx {
+            return;
+        }
+        let start = (self.base & WHEEL_MASK) as usize;
+        let off_new = (idx + WHEEL_SLOTS - start) % WHEEL_SLOTS;
+        let off_cur = (cur + WHEEL_SLOTS - start) % WHEEL_SLOTS;
+        if off_new < off_cur {
+            self.min_bucket.set(idx);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueue. Returns `true` if the event landed in the overflow heap
+    /// (i.e. beyond the wheel window) — the engine tracks the split.
+    pub fn push(&mut self, ev: Event) -> bool {
+        debug_assert!(ev.key.time >= self.base, "scheduled in the past");
+        self.len += 1;
+        if ev.key.time < self.base + WHEEL_SLOTS as u64 {
+            let idx = (ev.key.time & WHEEL_MASK) as usize;
+            self.buckets[idx].push(ev);
+            self.occupancy[idx / 64] |= 1 << (idx % 64);
+            self.note_insert(idx);
+            false
+        } else {
+            self.overflow.push(Reverse(ev));
+            true
+        }
+    }
+
+    /// Key of the earliest pending event. Does not advance the window, so
+    /// `&self` — the overflow invariant guarantees any occupied bucket beats
+    /// the overflow minimum.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(idx) = self.first_occupied() {
+            return Some(self.buckets[idx][self.cursor].key);
+        }
+        self.overflow.peek().map(|Reverse(ev)| ev.key)
+    }
+
+    /// Remove and return the earliest event, advancing the window (and
+    /// eagerly refilling from overflow) as needed.
+    pub fn pop(&mut self) -> Option<Event> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            if let Some(idx) = self.first_occupied() {
+                let start = (self.base & WHEEL_MASK) as usize;
+                let offset = (idx + WHEEL_SLOTS - start) % WHEEL_SLOTS;
+                if offset > 0 {
+                    debug_assert_eq!(self.cursor, 0, "cursor outside the minimum bucket");
+                    self.base += offset as u64;
+                    // Refilled events are all later than the new base (they
+                    // were beyond the *old* window), so `idx` stays minimal.
+                    self.refill();
+                }
+                let ev = self.buckets[idx][self.cursor];
+                self.cursor += 1;
+                self.len -= 1;
+                if self.cursor == self.buckets[idx].len() {
+                    self.buckets[idx].clear();
+                    self.cursor = 0;
+                    self.occupancy[idx / 64] &= !(1 << (idx % 64));
+                    self.min_bucket.set(UNKNOWN);
+                }
+                return Some(ev);
+            }
+            // Wheel empty: jump the window to the overflow minimum.
+            let Reverse(ev) = self.overflow.peek().expect("len > 0 with empty wheel");
+            self.base = ev.key.time;
+            self.refill();
+        }
+    }
+
+    /// Move every overflow event inside the (new) window into its bucket.
+    /// The heap pops in `(time, seq)` order and the window is one revolution
+    /// wide, so each target bucket receives a single timestamp in ascending
+    /// sequence order.
+    fn refill(&mut self) {
+        let limit = self.base + WHEEL_SLOTS as u64;
+        while let Some(Reverse(ev)) = self.overflow.peek() {
+            if ev.key.time >= limit {
+                break;
+            }
+            let Reverse(ev) = self.overflow.pop().expect("peeked");
+            let idx = (ev.key.time & WHEEL_MASK) as usize;
+            self.buckets[idx].push(ev);
+            self.occupancy[idx / 64] |= 1 << (idx % 64);
+            self.note_insert(idx);
+        }
+    }
+
+    /// First occupied bucket in circular order from `base` (i.e. the bucket
+    /// holding the earliest wheel timestamp). O(1) when the cache holds;
+    /// one bitmap scan otherwise.
+    fn first_occupied(&self) -> Option<usize> {
+        let cached = self.min_bucket.get();
+        if cached != UNKNOWN {
+            debug_assert!(self.occupancy[cached / 64] & (1 << (cached % 64)) != 0);
+            return Some(cached);
+        }
+        let found = self.scan_occupied();
+        if let Some(idx) = found {
+            self.min_bucket.set(idx);
+        }
+        found
+    }
+
+    /// Bitmap scan behind [`Self::first_occupied`] — at most [`WORDS`] + 1
+    /// word loads (the wheel is small enough that no summary level pays).
+    fn scan_occupied(&self) -> Option<usize> {
+        let start = (self.base & WHEEL_MASK) as usize;
+        let (sw, sb) = (start / 64, start % 64);
+        let w = self.occupancy[sw] & (!0u64 << sb);
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        for i in 1..=WORDS {
+            let wi = (sw + i) % WORDS;
+            let mut w = self.occupancy[wi];
+            if wi == sw {
+                w &= (1u64 << sb) - 1; // wrapped: only bits below the start
+            }
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Every queued event (including version-cancelled ones), sorted by
+    /// key — the snapshot path re-pushes these verbatim on restore.
+    pub fn events_sorted(&self) -> Vec<Event> {
+        debug_assert_eq!(self.cursor, 0, "snapshot mid-drain");
+        let mut out: Vec<Event> = Vec::with_capacity(self.len);
+        for b in &self.buckets {
+            out.extend_from_slice(b);
+        }
+        out.extend(self.overflow.iter().map(|Reverse(ev)| *ev));
+        out.sort_by_key(|ev| ev.key);
+        out
+    }
+
+    /// Drop everything and restart the window at `base` (snapshot restore).
+    /// Bucket capacities are kept, so a restored sweep stays allocation-free.
+    pub fn reset(&mut self, base: u64) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occupancy = [0; WORDS];
+        self.overflow.clear();
+        self.base = base;
+        self.cursor = 0;
+        self.len = 0;
+        self.min_bucket.set(UNKNOWN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, seq: u64) -> Event {
+        Event {
+            key: EventKey { time, seq },
+            slot: 0,
+            value: Logic::X,
+            version: 0,
+            generator: None,
+            forced: false,
+        }
+    }
+
+    /// Reference check: any push sequence with non-decreasing "now" drains
+    /// in exactly (time, seq) order, across window advances and overflow.
+    #[test]
+    fn drains_in_key_order_across_overflow() {
+        let mut q = EventQueue::new(0);
+        let mut seq = 0u64;
+        let mut push = |q: &mut EventQueue, t: u64| {
+            q.push(ev(t, seq));
+            seq += 1;
+        };
+        // Mix of near, far (overflow), and same-timestamp events.
+        for &t in &[5u64, 5, 3000, 7, 3000, 100_000, 2047, 2048, 5000, 3000] {
+            push(&mut q, t);
+        }
+        let mut keys = Vec::new();
+        while let Some(e) = q.pop() {
+            keys.push(e.key);
+        }
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    fn push_at_current_timestamp_during_drain_is_delivered() {
+        let mut q = EventQueue::new(0);
+        q.push(ev(10, 0));
+        q.push(ev(10, 1));
+        let first = q.pop().unwrap();
+        assert_eq!(first.key.seq, 0);
+        // A stimulus re-arm at the same timestamp mid-drain.
+        q.push(ev(10, 2));
+        assert_eq!(q.pop().unwrap().key.seq, 1);
+        assert_eq!(q.pop().unwrap().key.seq, 2);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_refill_preserves_seq_before_later_live_push() {
+        let mut q = EventQueue::new(0);
+        // seq 0 goes to overflow (beyond window from base 0).
+        q.push(ev(5000, 0));
+        q.push(ev(10, 1));
+        // Drain t=10; base advances to 10, window still ends before 5000.
+        assert_eq!(q.pop().unwrap().key.seq, 1);
+        // Advance base into range via an intermediate event.
+        q.push(ev(4000, 2));
+        assert_eq!(q.pop().unwrap().key.seq, 2); // base now 4000; 5000 refilled
+                                                 // A later push at the same refilled timestamp must come after seq 0.
+        q.push(ev(5000, 3));
+        assert_eq!(q.pop().unwrap().key.seq, 0);
+        assert_eq!(q.pop().unwrap().key.seq, 3);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new(0);
+        for (i, &t) in [9u64, 2, 70_000, 2, 500].iter().enumerate() {
+            q.push(ev(t, i as u64));
+        }
+        while !q.is_empty() {
+            let k = q.peek_key().unwrap();
+            assert_eq!(q.pop().unwrap().key, k);
+        }
+        assert!(q.peek_key().is_none());
+    }
+
+    #[test]
+    fn reset_restarts_window() {
+        let mut q = EventQueue::new(0);
+        q.push(ev(3, 0));
+        q.push(ev(9000, 1));
+        q.reset(100);
+        assert!(q.is_empty());
+        q.push(ev(100, 2));
+        assert_eq!(q.pop().unwrap().key.seq, 2);
+    }
+}

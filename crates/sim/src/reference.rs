@@ -1,0 +1,364 @@
+//! The pre-CSR heap-scheduled simulation kernel, kept as a frozen
+//! *reference semantics* implementation.
+//!
+//! This is the original `engine.rs` event loop: closure-based
+//! `Component::evaluate`, per-net driver scans, and a global
+//! `BinaryHeap<Reverse<Event>>` with lazy version-cancellation. The
+//! production [`crate::Simulator`] must stay bit-identical to it — the
+//! differential property test (`crates/sim/tests/differential.rs`) runs
+//! random netlists on both and asserts equal traces, values and event
+//! counts. It is not part of the public API surface and carries none of
+//! the fast-path statistics.
+
+use crate::engine::{SimError, SimStats};
+use crate::logic::Logic;
+use crate::netlist::{CompId, NetId, Netlist};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    time: u64,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    key: EventKey,
+    slot: u32,
+    value: Logic,
+    version: u32,
+    generator: Option<CompId>,
+    forced: bool,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    value: Logic,
+    version: u32,
+    pending: Option<(u64, Logic)>,
+}
+
+/// The original heap-scheduled simulator. Test-only reference; see the
+/// module docs.
+#[doc(hidden)]
+pub struct ReferenceSimulator {
+    netlist: Netlist,
+    values: Vec<Logic>,
+    slots: Vec<Slot>,
+    external_slot: Vec<u32>,
+    slot_net: Vec<NetId>,
+    comp_slot_base: Vec<u32>,
+    queue: BinaryHeap<Reverse<Event>>,
+    time: u64,
+    seq: u64,
+    stats: SimStats,
+    traces: Vec<Option<Vec<(u64, Logic)>>>,
+    dirty_nets: Vec<u32>,
+    dirty_comps: Vec<u32>,
+    comp_dirty_flag: Vec<bool>,
+    net_dirty_flag: Vec<bool>,
+}
+
+impl ReferenceSimulator {
+    pub fn new(mut netlist: Netlist) -> Self {
+        netlist.finalize();
+        let n_nets = netlist.net_count();
+        let n_comps = netlist.comp_count();
+
+        let mut comp_slot_base = Vec::with_capacity(n_comps + 1);
+        let mut slot_net = Vec::new();
+        comp_slot_base.push(0u32);
+        for comp in &netlist.comps {
+            for out in comp.outputs() {
+                slot_net.push(out);
+            }
+            comp_slot_base.push(slot_net.len() as u32);
+        }
+        let mut external_slot = Vec::with_capacity(n_nets);
+        for i in 0..n_nets {
+            external_slot.push(slot_net.len() as u32);
+            slot_net.push(NetId(i as u32));
+        }
+
+        let mut sim = ReferenceSimulator {
+            values: vec![Logic::Z; n_nets],
+            slots: vec![Slot::default(); slot_net.len()],
+            external_slot,
+            slot_net,
+            comp_slot_base,
+            queue: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            stats: SimStats::default(),
+            traces: vec![None; n_nets],
+            dirty_nets: Vec::new(),
+            dirty_comps: Vec::new(),
+            comp_dirty_flag: vec![false; n_comps],
+            net_dirty_flag: vec![false; n_nets],
+            netlist,
+        };
+        for s in &mut sim.slots {
+            s.value = Logic::Z;
+        }
+        for c in 0..n_comps {
+            if sim.netlist.comps[c].is_generator() {
+                let values = &sim.values;
+                let outs = sim.netlist.comps[c].evaluate(|n| values[n.0 as usize]);
+                for (port, value) in outs {
+                    let slot = sim.comp_slot_base[c] + port as u32;
+                    sim.slots[slot as usize].value = value;
+                    let net = sim.slot_net[slot as usize];
+                    sim.values[net.0 as usize] = sim.resolve_net(net);
+                }
+            }
+        }
+        for c in 0..n_comps {
+            sim.mark_comp_dirty(c as u32);
+        }
+        sim.eval_dirty_comps();
+        for c in 0..n_comps {
+            if sim.netlist.comps[c].is_generator() {
+                sim.arm_generator(CompId(c as u32));
+            }
+        }
+        sim
+    }
+
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.0 as usize]
+    }
+
+    pub fn watch(&mut self, net: NetId) {
+        let t = self.time;
+        let v = self.values[net.0 as usize];
+        self.traces[net.0 as usize].get_or_insert_with(Vec::new).push((t, v));
+    }
+
+    pub fn trace(&self, net: NetId) -> &[(u64, Logic)] {
+        self.traces[net.0 as usize].as_deref().unwrap_or(&[])
+    }
+
+    pub fn drive(&mut self, net: NetId, value: Logic) {
+        self.drive_at(net, value, self.time);
+    }
+
+    pub fn drive_at(&mut self, net: NetId, value: Logic, time: u64) {
+        assert!(time >= self.time, "cannot schedule in the past");
+        let slot = self.external_slot[net.0 as usize];
+        let key = EventKey { time, seq: self.seq };
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            key,
+            slot,
+            value,
+            version: 0,
+            generator: None,
+            forced: true,
+        }));
+    }
+
+    pub fn run_until(&mut self, deadline: u64, max_events: u64) -> Result<(), SimError> {
+        let mut budget = max_events;
+        #[allow(clippy::while_let_loop)] // borrow of queue must end before step
+        loop {
+            let next_time = match self.queue.peek() {
+                Some(Reverse(ev)) => ev.key.time,
+                None => break,
+            };
+            if next_time > deadline {
+                break;
+            }
+            if budget == 0 {
+                return Err(SimError::EventLimit { events: self.stats.events, time: self.time });
+            }
+            let spent = self.step_one_timestamp();
+            budget = budget.saturating_sub(spent);
+        }
+        self.time = self.time.max(deadline);
+        Ok(())
+    }
+
+    pub fn settle(&mut self, max_events: u64) -> Result<u64, SimError> {
+        let mut budget = max_events;
+        while !self.queue.is_empty() {
+            if budget == 0 {
+                return Err(SimError::EventLimit { events: self.stats.events, time: self.time });
+            }
+            let spent = self.step_one_timestamp();
+            budget = budget.saturating_sub(spent);
+        }
+        Ok(self.time)
+    }
+
+    fn step_one_timestamp(&mut self) -> u64 {
+        let t = match self.queue.peek() {
+            Some(Reverse(ev)) => ev.key.time,
+            None => return 0,
+        };
+        self.time = t;
+        let mut applied = 0u64;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.key.time != t {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let slot = &mut self.slots[ev.slot as usize];
+            if !ev.forced {
+                if ev.version != slot.version {
+                    continue;
+                }
+                slot.pending = None;
+            }
+            applied += 1;
+            self.stats.events += 1;
+            if slot.value != ev.value {
+                slot.value = ev.value;
+                let net = self.slot_net[ev.slot as usize];
+                if !self.net_dirty_flag[net.0 as usize] {
+                    self.net_dirty_flag[net.0 as usize] = true;
+                    self.dirty_nets.push(net.0);
+                }
+            }
+            if let Some(g) = ev.generator {
+                self.arm_generator(g);
+            }
+        }
+        let dirty_nets = std::mem::take(&mut self.dirty_nets);
+        for n in &dirty_nets {
+            self.net_dirty_flag[*n as usize] = false;
+            let resolved = self.resolve_net(NetId(*n));
+            if resolved != self.values[*n as usize] {
+                self.values[*n as usize] = resolved;
+                self.stats.net_toggles += 1;
+                if let Some(tr) = &mut self.traces[*n as usize] {
+                    tr.push((t, resolved));
+                }
+                for f in 0..self.netlist.nets[*n as usize].fanout.len() {
+                    let cid = self.netlist.nets[*n as usize].fanout[f];
+                    self.mark_comp_dirty(cid.0);
+                }
+            }
+        }
+        self.dirty_nets = dirty_nets;
+        self.dirty_nets.clear();
+        self.eval_dirty_comps();
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        applied.max(1)
+    }
+
+    fn resolve_net(&self, net: NetId) -> Logic {
+        let n = &self.netlist.nets[net.0 as usize];
+        let mut acc = self.slots[self.external_slot[net.0 as usize] as usize].value;
+        for d in &n.drivers {
+            let slot = self.comp_slot_base[d.comp.0 as usize] + d.port as u32;
+            acc = acc.resolve(self.slots[slot as usize].value);
+        }
+        acc
+    }
+
+    fn mark_comp_dirty(&mut self, comp: u32) {
+        if !self.comp_dirty_flag[comp as usize] {
+            self.comp_dirty_flag[comp as usize] = true;
+            self.dirty_comps.push(comp);
+        }
+    }
+
+    fn eval_dirty_comps(&mut self) {
+        let mut dirty = std::mem::take(&mut self.dirty_comps);
+        dirty.sort_unstable();
+        let now = self.time;
+        for c in &dirty {
+            self.comp_dirty_flag[*c as usize] = false;
+            if self.netlist.comps[*c as usize].is_generator() {
+                continue;
+            }
+            self.stats.evals += 1;
+            let values = &self.values;
+            let outputs = self.netlist.comps[*c as usize].evaluate(|n| values[n.0 as usize]);
+            let delay = self.netlist.delays[*c as usize].max(1);
+            for (port, value) in outputs {
+                let slot = self.comp_slot_base[*c as usize] + port as u32;
+                self.schedule(slot, value, now + delay, None);
+            }
+        }
+        dirty.clear();
+        self.dirty_comps = dirty;
+    }
+
+    fn arm_generator(&mut self, comp: CompId) {
+        let now = self.time;
+        if let Some((t, port, value)) = self.netlist.comps[comp.0 as usize].next_generated(now) {
+            let slot = self.comp_slot_base[comp.0 as usize] + port as u32;
+            let slot_ref = &mut self.slots[slot as usize];
+            slot_ref.version = slot_ref.version.wrapping_add(1);
+            slot_ref.pending = Some((t, value));
+            let key = EventKey { time: t.max(now), seq: self.seq };
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                key,
+                slot,
+                value,
+                version: slot_ref.version,
+                generator: Some(comp),
+                forced: false,
+            }));
+        }
+    }
+
+    fn schedule(&mut self, slot: u32, value: Logic, time: u64, generator: Option<CompId>) {
+        let s = &mut self.slots[slot as usize];
+        match s.pending {
+            Some((_, pv)) if pv == value => return,
+            Some(_) => {
+                s.version = s.version.wrapping_add(1);
+                if value == s.value {
+                    s.pending = None;
+                    return;
+                }
+            }
+            None => {
+                if value == s.value {
+                    return;
+                }
+                s.version = s.version.wrapping_add(1);
+            }
+        }
+        s.pending = Some((time, value));
+        let key = EventKey { time, seq: self.seq };
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            key,
+            slot,
+            value,
+            version: s.version,
+            generator,
+            forced: false,
+        }));
+    }
+}

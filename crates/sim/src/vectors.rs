@@ -72,10 +72,16 @@ pub fn exhaustive_truth(
         return Ok(masks);
     }
     let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
+    // One simulator for the whole sweep, rewound to its just-built state
+    // before each vector via snapshot/restore — bit-identical to a fresh
+    // instance per vector (each vector stays independent of sweep order)
+    // without re-elaborating the netlist 2^n times.
+    let mut sim = Simulator::new(netlist.clone());
+    let initial = sim.snapshot();
     for assignment in 0u64..(1 << n) {
-        // Fresh simulator per vector: combinational circuits have no state,
-        // and a fresh instance makes each vector independent of sweep order.
-        let mut sim = Simulator::new(netlist.clone());
+        if assignment > 0 {
+            sim.restore(&initial);
+        }
         for (i, &inp) in inputs.iter().enumerate() {
             sim.drive(inp, Logic::from_bool(assignment >> i & 1 == 1));
         }

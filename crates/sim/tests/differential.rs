@@ -1,0 +1,220 @@
+//! Differential property test: the CSR + timing-wheel kernel
+//! ([`Simulator`]) against the retained heap-based engine
+//! ([`ReferenceSimulator`]).
+//!
+//! The optimized kernel's contract is *bit-identical traces*: same event
+//! counts, same settle times, same waveform on every watched net, for any
+//! netlist — including feedback loops, tri-state buses, generators slow
+//! enough to spill the timing wheel into its overflow heap, and runs that
+//! exhaust their event budget mid-oscillation. Each case builds one random
+//! netlist, runs both engines through an identical stimulus schedule, and
+//! compares everything observable.
+
+use pmorph_sim::builder::NetlistBuilder;
+use pmorph_sim::logic::Logic;
+use pmorph_sim::netlist::{DriveMode, NetId, Netlist};
+use pmorph_sim::reference::ReferenceSimulator;
+use pmorph_sim::Simulator;
+use pmorph_util::prop::{self, Gen};
+use pmorph_util::{prop_assert, prop_assert_eq};
+
+/// Build a random netlist: gates with feedback, optional state elements,
+/// optional tri-state bus, optional slow clock (exercises the wheel's
+/// overflow heap). Returns the netlist plus the externally-driven nets.
+fn random_netlist(g: &mut Gen) -> (Netlist, Vec<NetId>) {
+    let mut b = NetlistBuilder::new().with_default_delay(g.in_range(1u64..=9));
+    let inputs: Vec<NetId> = (0..4).map(|i| b.net(format!("in{i}"))).collect();
+    let mut pool = inputs.clone();
+
+    // A handful of pre-allocated nets that gates may drive *into*, so the
+    // generator can close combinational feedback loops.
+    let loop_nets: Vec<NetId> = (0..3).map(|i| b.net(format!("loop{i}"))).collect();
+    pool.extend(&loop_nets);
+
+    let n_gates = g.in_range(6usize..=20);
+    for k in 0..n_gates {
+        let x = pool[g.in_range(0..pool.len())];
+        let y = pool[g.in_range(0..pool.len())];
+        if k < loop_nets.len() && g.bool() {
+            // close a loop through a pre-allocated net
+            b.nand_into(&[x, y], loop_nets[k]);
+            continue;
+        }
+        let out = match g.in_range(0u32..5) {
+            0 => b.nand(&[x, y]),
+            1 => b.or(&[x, y]),
+            2 => b.xor(&[x, y]),
+            3 => b.and(&[x, y]),
+            _ => b.inv(x),
+        };
+        pool.push(out);
+    }
+
+    if g.bool() {
+        // shared tri-state bus with two drivers and complementary enables
+        let bus = b.net("bus");
+        let en = pool[g.in_range(0..pool.len())];
+        let nen = b.inv(en);
+        let d0 = pool[g.in_range(0..pool.len())];
+        let d1 = pool[g.in_range(0..pool.len())];
+        b.tribuf_into(d0, en, bus, DriveMode::NonInverting);
+        b.tribuf_into(d1, nen, bus, DriveMode::Inverting);
+        pool.push(bus);
+    }
+
+    if g.bool() {
+        // clock + DFF; half-period occasionally beyond the 2048-slot wheel
+        let clk = b.net("clk");
+        let half = if g.bool() { g.in_range(2100u64..=6000) } else { g.in_range(3u64..=40) };
+        b.clock(clk, half, g.in_range(0u64..=5));
+        let d = pool[g.in_range(0..pool.len())];
+        let q = b.net("q");
+        b.dff(d, clk, None, q);
+        pool.push(q);
+    }
+
+    if g.bool() {
+        let d = pool[g.in_range(0..pool.len())];
+        let en = pool[g.in_range(0..pool.len())];
+        let q = b.net("lq");
+        b.latch(d, en, q);
+        pool.push(q);
+    }
+
+    (b.build(), inputs)
+}
+
+/// A random stimulus schedule over the input nets: `(time, net, value)`
+/// with strictly increasing per-net times (drive_at requirement is only
+/// time >= now; both engines receive the identical list).
+fn random_schedule(g: &mut Gen, inputs: &[NetId]) -> Vec<(u64, NetId, Logic)> {
+    let n = g.in_range(3usize..=12);
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            t += g.in_range(1u64..=3000);
+            let net = inputs[g.in_range(0..inputs.len())];
+            let v = match g.in_range(0u32..4) {
+                0 => Logic::L0,
+                1 => Logic::L1,
+                2 => Logic::X,
+                _ => Logic::Z,
+            };
+            (t, net, v)
+        })
+        .collect()
+}
+
+#[test]
+fn kernel_matches_reference_engine_bit_for_bit() {
+    prop::check("kernel_vs_reference", 48, |g| {
+        let (netlist, inputs) = random_netlist(g);
+        let schedule = random_schedule(g, &inputs);
+        let deadline =
+            schedule.last().map(|&(t, _, _)| t).unwrap_or(0) + g.in_range(500u64..=20_000);
+        let budget = g.in_range(2_000u64..=30_000);
+
+        let mut fast = Simulator::new(netlist.clone());
+        let mut refr = ReferenceSimulator::new(netlist.clone());
+        let watched: Vec<NetId> = (0..netlist.net_count() as u32).map(NetId).collect();
+        for &n in &watched {
+            fast.watch(n);
+            refr.watch(n);
+        }
+        for &(t, n, v) in &schedule {
+            fast.drive_at(n, v, t);
+            refr.drive_at(n, v, t);
+        }
+
+        let fast_res = fast.run_until(deadline, budget);
+        let ref_res = refr.run_until(deadline, budget);
+        prop_assert_eq!(&fast_res, &ref_res, "run_until outcome (incl. EventLimit counts)");
+        prop_assert_eq!(fast.time(), refr.time(), "final simulation time");
+        prop_assert_eq!(fast.stats().events, refr.stats().events, "applied event count");
+        prop_assert_eq!(fast.stats().evals, refr.stats().evals, "component eval count");
+        prop_assert_eq!(fast.stats().net_toggles, refr.stats().net_toggles, "net toggle count");
+        prop_assert_eq!(fast.stats().max_queue, refr.stats().max_queue, "peak queue depth");
+        for &n in &watched {
+            prop_assert_eq!(fast.trace(n), refr.trace(n), "trace of net {:?}", n);
+            prop_assert_eq!(fast.value(n), refr.value(n), "final value of net {:?}", n);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn kernel_matches_reference_on_settle_after_each_vector() {
+    // settle() interleaved with drives — the sweep-style usage pattern.
+    prop::check("kernel_vs_reference_settle", 24, |g| {
+        let (netlist, inputs) = random_netlist(g);
+        let mut fast = Simulator::new(netlist.clone());
+        let mut refr = ReferenceSimulator::new(netlist.clone());
+        for step in 0..4 {
+            for &n in &inputs {
+                let v = if g.bool() { Logic::L1 } else { Logic::L0 };
+                fast.drive(n, v);
+                refr.drive(n, v);
+            }
+            let fast_res = fast.settle(10_000);
+            let ref_res = refr.settle(10_000);
+            prop_assert_eq!(&fast_res, &ref_res, "settle outcome at step {}", step);
+            if fast_res.is_err() {
+                break; // oscillation: both died identically; engine state is final
+            }
+            for n in 0..netlist.net_count() as u32 {
+                prop_assert_eq!(
+                    fast.value(NetId(n)),
+                    refr.value(NetId(n)),
+                    "settled value of net {} at step {}",
+                    n,
+                    step
+                );
+            }
+            prop_assert_eq!(fast.stats().events, refr.stats().events, "events after step {}", step);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn snapshot_restore_matches_reference_fresh_instance() {
+    // Restoring the kernel's t=0 snapshot must behave exactly like handing
+    // the reference engine a brand-new simulator — the property the
+    // exhaustive-sweep reuse path (crate::vectors) depends on.
+    prop::check("snapshot_vs_fresh_reference", 16, |g| {
+        let (netlist, inputs) = random_netlist(g);
+        let mut fast = Simulator::new(netlist.clone());
+        let initial = fast.snapshot();
+        for trial in 0..3 {
+            if trial > 0 {
+                fast.restore(&initial);
+            }
+            let mut refr = ReferenceSimulator::new(netlist.clone());
+            for &n in &inputs {
+                let v = if g.bool() { Logic::L1 } else { Logic::L0 };
+                fast.drive(n, v);
+                refr.drive(n, v);
+            }
+            let fast_res = fast.settle(10_000);
+            let ref_res = refr.settle(10_000);
+            prop_assert_eq!(&fast_res, &ref_res, "settle outcome, trial {}", trial);
+            if fast_res.is_err() {
+                break;
+            }
+            for n in 0..netlist.net_count() as u32 {
+                prop_assert_eq!(
+                    fast.value(NetId(n)),
+                    refr.value(NetId(n)),
+                    "net {} trial {}",
+                    n,
+                    trial
+                );
+            }
+            prop_assert!(
+                fast.stats().resolve_fast_hits <= fast.stats().events,
+                "fast-path counter stays within applied events"
+            );
+        }
+        Ok(())
+    });
+}

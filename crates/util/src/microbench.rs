@@ -9,7 +9,13 @@
 //!
 //! Budget: `PMORPH_BENCH_MS` milliseconds of measurement per benchmark
 //! (default 300; set it low, e.g. 20, for a smoke pass).
+//!
+//! Artifact: set `PMORPH_BENCH_JSON=<path>` and the driver writes every
+//! result (median/mean/min ns per iteration, throughput, pass/fail checks)
+//! as a JSON document when it is dropped — the mechanism behind
+//! `scripts/bench.sh` and the tracked `BENCH_*.json` baselines.
 
+use crate::json::Value;
 use std::time::{Duration, Instant};
 
 /// Throughput annotation: scales the report to elements/second.
@@ -51,11 +57,14 @@ pub struct Bencher {
     total_ns: u128,
     iters: u64,
     min_ns: u128,
+    /// Per-iteration nanoseconds of each timed batch (dt / batch size) —
+    /// the population the median is taken over.
+    samples: Vec<u128>,
 }
 
 impl Bencher {
     fn new(budget: Duration) -> Self {
-        Bencher { budget, total_ns: 0, iters: 0, min_ns: u128::MAX }
+        Bencher { budget, total_ns: 0, iters: 0, min_ns: u128::MAX, samples: Vec::new() }
     }
 
     /// Time a routine: warm up once, then run batches of doubling size
@@ -72,7 +81,9 @@ impl Bencher {
             let dt = t0.elapsed().as_nanos().max(1);
             self.total_ns += dt;
             self.iters += batch;
-            self.min_ns = self.min_ns.min(dt / batch as u128);
+            let per_iter = dt / batch as u128;
+            self.min_ns = self.min_ns.min(per_iter);
+            self.samples.push(per_iter);
             if dt < 1_000_000 {
                 // batch is too small to time accurately — grow it
                 batch = batch.saturating_mul(2);
@@ -85,6 +96,23 @@ impl Bencher {
             return f64::NAN;
         }
         self.total_ns as f64 / self.iters as f64
+    }
+
+    /// Median per-iteration time across timed batches — the headline
+    /// number for the JSON baselines (robust against warm-up outliers
+    /// and scheduler noise in a way the mean is not).
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid] as f64
+        } else {
+            (s[mid - 1] + s[mid]) as f64 / 2.0
+        }
     }
 }
 
@@ -102,30 +130,15 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
-    let mean = b.mean_ns();
-    let mut line = format!(
-        "{name:<52} {} /iter  (min {}, {} iters)",
-        fmt_ns(mean),
-        fmt_ns(b.min_ns as f64),
-        b.iters
-    );
-    if let Some(tp) = throughput {
-        let (count, unit) = match tp {
-            Throughput::Elements(n) => (n, "elem"),
-            Throughput::Bytes(n) => (n, "B"),
-        };
-        if mean > 0.0 {
-            let per_s = count as f64 / (mean / 1e9);
-            line.push_str(&format!("  [{per_s:.3e} {unit}/s]"));
-        }
-    }
-    println!("{line}");
-}
-
 /// The top-level benchmark driver.
 pub struct Criterion {
     budget: Duration,
+    /// JSON records accumulated for the `PMORPH_BENCH_JSON` sink.
+    records: Vec<Value>,
+    /// Named pass/fail assertions recorded alongside the timings.
+    checks: Vec<(String, bool)>,
+    /// Output path for the JSON artifact, if requested.
+    json_path: Option<String>,
 }
 
 impl Default for Criterion {
@@ -134,16 +147,63 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(300);
-        Criterion { budget: Duration::from_millis(ms) }
+        Criterion {
+            budget: Duration::from_millis(ms),
+            records: Vec::new(),
+            checks: Vec::new(),
+            json_path: std::env::var("PMORPH_BENCH_JSON").ok().filter(|p| !p.is_empty()),
+        }
     }
 }
 
 impl Criterion {
+    fn report(&mut self, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+        let mean = b.mean_ns();
+        let median = b.median_ns();
+        let mut line = format!(
+            "{name:<52} {} /iter  (median {}, min {}, {} iters)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(b.min_ns as f64),
+            b.iters
+        );
+        let mut rec = Value::object();
+        rec.set("name", Value::Str(name.to_string()))
+            .set("median_ns", Value::Num(median))
+            .set("mean_ns", Value::Num(mean))
+            .set("min_ns", Value::Num(b.min_ns as f64))
+            .set("iters", Value::Num(b.iters as f64));
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if median > 0.0 {
+                let per_s = count as f64 / (median / 1e9);
+                line.push_str(&format!("  [{per_s:.3e} {unit}/s]"));
+                rec.set("units_per_iter", Value::Num(count as f64))
+                    .set("unit", Value::Str(unit.to_string()))
+                    .set("units_per_sec", Value::Num(per_s));
+            }
+        }
+        self.records.push(rec);
+        println!("{line}");
+    }
+
+    /// Record a named pass/fail assertion into the JSON artifact (e.g. the
+    /// allocation-free steady-state check). Prints, records, and returns
+    /// `ok` so callers can still `assert!` on it.
+    pub fn record_check(&mut self, name: &str, ok: bool) -> bool {
+        println!("[check] {name:<44} {}", if ok { "ok" } else { "FAILED" });
+        self.checks.push((name.to_string(), ok));
+        ok
+    }
+
     /// Run one standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher::new(self.budget);
         f(&mut b);
-        report(name, &b, None);
+        self.report(name, &b, None);
         self
     }
 
@@ -152,6 +212,34 @@ impl Criterion {
         let name = name.into();
         println!("── {name}");
         BenchGroup { criterion: self, name, throughput: None }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Some(path) = self.json_path.take() else { return };
+        let mut doc = Value::object();
+        doc.set("budget_ms", Value::Num(self.budget.as_millis() as f64))
+            .set("benches", Value::Array(std::mem::take(&mut self.records)))
+            .set(
+                "checks",
+                Value::Array(
+                    self.checks
+                        .drain(..)
+                        .map(|(name, pass)| {
+                            let mut c = Value::object();
+                            c.set("name", Value::Str(name)).set("pass", Value::Bool(pass));
+                            c
+                        })
+                        .collect(),
+                ),
+            );
+        let text = doc.to_string_pretty();
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
     }
 }
 
@@ -177,7 +265,8 @@ impl BenchGroup<'_> {
     ) -> &mut Self {
         let mut b = Bencher::new(self.criterion.budget);
         f(&mut b);
-        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        let name = format!("{}/{id}", self.name);
+        self.criterion.report(&name, &b, self.throughput);
         self
     }
 
@@ -190,7 +279,8 @@ impl BenchGroup<'_> {
     ) -> &mut Self {
         let mut b = Bencher::new(self.criterion.budget);
         f(&mut b, input);
-        report(&format!("{}/{id}", self.name), &b, self.throughput);
+        let name = format!("{}/{id}", self.name);
+        self.criterion.report(&name, &b, self.throughput);
         self
     }
 
@@ -224,6 +314,15 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn quiet_criterion(ms: u64) -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(ms),
+            records: Vec::new(),
+            checks: Vec::new(),
+            json_path: None,
+        }
+    }
+
     #[test]
     fn bencher_measures_something() {
         let mut b = Bencher::new(Duration::from_millis(5));
@@ -231,11 +330,22 @@ mod tests {
         assert!(b.iters > 0);
         assert!(b.total_ns > 0);
         assert!(b.mean_ns() > 0.0);
+        assert!(!b.samples.is_empty());
+        assert!(b.median_ns() > 0.0);
+    }
+
+    #[test]
+    fn median_is_order_statistic_not_mean() {
+        let mut b = Bencher::new(Duration::from_millis(1));
+        b.samples = vec![10, 10, 10, 10, 1000];
+        assert_eq!(b.median_ns(), 10.0, "one outlier must not move the median");
+        b.samples = vec![4, 8];
+        assert_eq!(b.median_ns(), 6.0);
     }
 
     #[test]
     fn group_api_composes() {
-        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut c = quiet_criterion(1);
         c.bench_function("unit/add", |b| b.iter(|| 2 + 2));
         let mut g = c.benchmark_group("unit/group");
         g.throughput(Throughput::Elements(4));
@@ -250,5 +360,33 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
         assert_eq!(BenchmarkId::new("f", "x").to_string(), "f/x");
+    }
+
+    #[test]
+    fn json_sink_writes_benches_and_checks() {
+        let path = std::env::temp_dir().join(format!("pmorph_bench_{}.json", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        {
+            let mut c = quiet_criterion(1);
+            c.json_path = Some(path_s.clone());
+            let mut g = c.benchmark_group("unit/json");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.finish();
+            assert!(c.record_check("always_true", true));
+            assert!(!c.record_check("always_false", false));
+        } // drop writes the file
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let doc = crate::json::parse(&text).unwrap();
+        let benches = doc.get("benches").unwrap().as_array().unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get("name").unwrap().as_str(), Some("unit/json/sum"));
+        assert!(benches[0].get("median_ns").unwrap().as_f64().unwrap() > 0.0);
+        assert!(benches[0].get("units_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        let checks = doc.get("checks").unwrap().as_array().unwrap();
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].get("pass").unwrap().as_bool(), Some(true));
+        assert_eq!(checks[1].get("pass").unwrap().as_bool(), Some(false));
     }
 }

@@ -13,8 +13,8 @@
 //!   `PMORPH_THREADS=1` run inline, which keeps stack traces simple and
 //!   makes the parallel path easy to ablate.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Worker count: `PMORPH_THREADS` if set, else available parallelism.
 pub fn worker_count() -> usize {
@@ -50,7 +50,21 @@ where
         return (0..n).map(f).collect();
     }
 
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Lock-free result slots: each index is written by exactly one worker
+    // (the one that claimed it from the atomic counter), so plain
+    // `UnsafeCell` writes are race-free and the steady-state loop takes no
+    // locks. `Option` keeps unwritten slots well-defined if a worker panics
+    // mid-scope (the panic then propagates out of `scope` before collect).
+    struct Slots<U>(Vec<UnsafeCell<Option<U>>>);
+    // SAFETY: shared across worker threads, but each cell is written at most
+    // once, by the single thread that claimed its index via `fetch_add`;
+    // reads happen only after `thread::scope` joins every worker.
+    unsafe impl<U: Send> Sync for Slots<U> {}
+
+    let slots: Slots<U> = Slots((0..n).map(|_| UnsafeCell::new(None)).collect());
+    // bind a reference so closures capture the `Sync` wrapper, not the
+    // inner Vec (2021-edition closures capture disjoint fields)
+    let slots_ref = &slots;
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -60,16 +74,14 @@ where
                     break;
                 }
                 let out = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                // SAFETY: `i` was claimed exclusively above, so no other
+                // thread holds a reference to this cell; the scope join
+                // orders this write before the caller's reads.
+                unsafe { *slots_ref.0[i].get() = Some(out) };
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner().expect("result slot poisoned").expect("worker filled every slot")
-        })
-        .collect()
+    slots.0.into_iter().map(|slot| slot.into_inner().expect("worker filled every slot")).collect()
 }
 
 #[cfg(test)]

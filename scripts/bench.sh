@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate the tracked kernel perf baseline.
+#
+# Runs the `kernel` bench suite (release/bench profile) with the JSON sink
+# pointed at BENCH_kernel.json in the repo root, then validates the
+# artifact with `benchcheck` (structure, positive medians, events/sec for
+# the three tracked workloads, and the allocation-free steady-state check).
+#
+# Budget: PMORPH_BENCH_MS per benchmark (default 300 ms). CI runs a short
+# smoke (PMORPH_BENCH_MS=20) via scripts/verify.sh; for a baseline worth
+# committing, run this on an idle machine with the default budget or more:
+#
+#   ./scripts/bench.sh                 # default 300 ms/bench
+#   PMORPH_BENCH_MS=1000 ./scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+# Absolute path: cargo runs the bench binary from the crate directory, so a
+# relative sink path would land in crates/bench/ instead of the repo root.
+OUT="$(pwd)/${PMORPH_BENCH_JSON:-BENCH_kernel.json}"
+
+echo "== kernel bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench) =="
+PMORPH_BENCH_JSON="$OUT" cargo bench -q -p pmorph-bench --bench kernel
+
+echo "== validate $OUT =="
+cargo run -q -p pmorph-bench --bin benchcheck -- "$OUT"

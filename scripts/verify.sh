@@ -22,4 +22,13 @@ cargo test --workspace -q
 echo "== reproduction experiments (E1-E23, release) =="
 cargo run --release -q -p pmorph-bench --bin repro -- >/dev/null
 
+echo "== kernel bench smoke (short budget) =="
+# A fast pass over the kernel suite: exercises every tracked workload,
+# the allocation-free steady-state check, and benchcheck's validation of
+# the JSON artifact — without paying for a full baseline run.
+# Absolute sink path: cargo runs the bench binary from crates/bench/.
+PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_kernel.smoke.json" \
+    cargo bench -q -p pmorph-bench --bench kernel >/dev/null
+cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_kernel.smoke.json
+
 echo "verify: OK"
