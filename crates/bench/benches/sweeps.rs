@@ -1,0 +1,156 @@
+//! Tracked sweep-engine throughput suite behind `BENCH_sweeps.json`
+//! (`scripts/bench.sh`).
+//!
+//! Times the E18 variation Monte-Carlo, E19 defect-yield curves, and the
+//! Fig. 10 adder vector sweep through the sharded engine
+//! (`pmorph-exec`) against their retained flat references, and records
+//! two pass/fail checks:
+//!
+//! * `sweeps_bit_identical_thread1_vs_n` — the sharded E18 study at the
+//!   host's worker count equals the flat serial study bit for bit.
+//! * `e18_sharded_speedup_vs_flat` — sharded full-scale E18 throughput
+//!   over flat-serial meets a core-scaled floor: ≥4.0× with 8+ effective
+//!   workers, ≥0.45×workers with 2–7, and ≥0.7× when only one core is
+//!   available (overhead bound: sharding a serial host must stay within
+//!   ~30% of the flat loop).
+
+use pmorph_bench::experiments::extensions::{defect_yield_curves, defect_yield_curves_flat};
+use pmorph_bench::experiments::fabric_figs::{
+    fig10_adder_check, fig10_adder_check_flat, fig10_adder_vectors,
+};
+use pmorph_device::variation::{run_study_cfg, run_study_flat, VariationModel};
+use pmorph_exec::SweepConfig;
+use pmorph_util::microbench::{Criterion, Throughput};
+use pmorph_util::{criterion_group, criterion_main, pool};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Full-scale E18 sample count (the `--full` experiment size).
+const E18_SAMPLES: usize = 400;
+
+/// Effective worker count for the sharded legs: the pool's env-derived
+/// count, capped at 8 (the tracked-baseline matrix never runs wider).
+fn sharded_workers() -> usize {
+    pool::worker_count().min(8)
+}
+
+/// Speedup floor for `e18_sharded_speedup_vs_flat`, scaled to what the
+/// host can actually run in parallel: `PMORPH_THREADS` (capped at 8)
+/// further capped by available cores — asking for 8 workers on a 1-core
+/// container cannot beat the serial loop, only match it.
+fn speedup_target() -> f64 {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let eff = sharded_workers().min(cores);
+    if eff >= 8 {
+        4.0
+    } else if eff >= 2 {
+        0.45 * eff as f64
+    } else {
+        0.7
+    }
+}
+
+/// Median wall-clock nanoseconds of `f` over repeated runs inside a small
+/// fixed budget (first run is a discarded warm-up). The `Bencher` keeps
+/// its medians private, so the speedup check measures its own.
+fn median_run_ns<O, F: FnMut() -> O>(budget_ms: u64, mut f: F) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    let mut samples: Vec<u128> = Vec::new();
+    while samples.len() < 5 || (start.elapsed().as_millis() < budget_ms as u128) {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos().max(1));
+        if samples.len() >= 101 {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid] as f64
+    } else {
+        (samples[mid - 1] + samples[mid]) as f64 / 2.0
+    }
+}
+
+/// E18 full-scale Monte-Carlo through the sharded engine vs the flat
+/// serial loop — the headline `units_per_sec` pair the speedup check and
+/// `benchcheck`'s required-prefix list key on.
+fn sweeps_e18_variation(c: &mut Criterion) {
+    let model = VariationModel::doped_bulk();
+    let cfg = SweepConfig::new().with_workers(sharded_workers()).with_seed(1);
+    let mut group = c.benchmark_group("sweeps/e18_variation");
+    group.throughput(Throughput::Elements(E18_SAMPLES as u64));
+    group.bench_function("sharded", |b| {
+        b.iter(|| black_box(run_study_cfg(model, E18_SAMPLES, 1, 0.3, 0.7, &cfg)))
+    });
+    group.bench_function("flat", |b| {
+        b.iter(|| black_box(run_study_flat(model, E18_SAMPLES, 1, 0.3, 0.7, 1)))
+    });
+    group.finish();
+}
+
+/// E19 defect-yield curves (three rates × trials) through the engine.
+fn sweeps_e19_faults(c: &mut Criterion) {
+    let trials = 24usize;
+    let cfg = SweepConfig::new().with_workers(sharded_workers());
+    let mut group = c.benchmark_group("sweeps/e19_faults");
+    group.throughput(Throughput::Elements((3 * trials) as u64));
+    group.bench_function("sharded", |b| b.iter(|| black_box(defect_yield_curves(trials, &cfg))));
+    group.bench_function("flat", |b| b.iter(|| black_box(defect_yield_curves_flat(trials, 1))));
+    group.finish();
+}
+
+/// Fig. 10 adder vector sweep (snapshot/restore per vector) through the
+/// engine.
+fn sweeps_fig10_adder(c: &mut Criterion) {
+    let vectors = fig10_adder_vectors(20);
+    let cfg = SweepConfig::new().with_workers(sharded_workers());
+    let mut group = c.benchmark_group("sweeps/fig10_adder");
+    group.throughput(Throughput::Elements(vectors.len() as u64));
+    group.bench_function("sharded", |b| b.iter(|| black_box(fig10_adder_check(&vectors, &cfg))));
+    group.bench_function("flat", |b| b.iter(|| black_box(fig10_adder_check_flat(&vectors))));
+    group.finish();
+}
+
+/// The two tracked pass/fail checks: bit-identity across worker counts
+/// and the core-scaled sharded-vs-flat speedup floor.
+fn sweeps_checks(c: &mut Criterion) {
+    let model = VariationModel::doped_bulk();
+    let workers = sharded_workers();
+
+    let flat = run_study_flat(model, E18_SAMPLES, 1, 0.3, 0.7, 1);
+    let serial_cfg = SweepConfig::new().with_workers(1).with_seed(1);
+    let wide_cfg = SweepConfig::new().with_workers(workers).with_seed(1);
+    let identical = run_study_cfg(model, E18_SAMPLES, 1, 0.3, 0.7, &serial_cfg) == flat
+        && run_study_cfg(model, E18_SAMPLES, 1, 0.3, 0.7, &wide_cfg) == flat;
+    assert!(
+        c.record_check("sweeps_bit_identical_thread1_vs_n", identical),
+        "sharded E18 study diverged from the flat serial reference"
+    );
+
+    let budget_ms = 120u64;
+    let sharded_ns =
+        median_run_ns(budget_ms, || run_study_cfg(model, E18_SAMPLES, 1, 0.3, 0.7, &wide_cfg));
+    let flat_ns = median_run_ns(budget_ms, || run_study_flat(model, E18_SAMPLES, 1, 0.3, 0.7, 1));
+    let speedup = flat_ns / sharded_ns;
+    let target = speedup_target();
+    println!(
+        "sweeps/e18_speedup: {speedup:.2}x (flat {flat_ns:.0} ns / sharded {sharded_ns:.0} ns, \
+         {workers} workers, target {target:.2}x)"
+    );
+    assert!(
+        c.record_check("e18_sharded_speedup_vs_flat", speedup >= target),
+        "sharded E18 speedup {speedup:.2}x under core-scaled target {target:.2}x"
+    );
+}
+
+criterion_group!(
+    sweeps,
+    sweeps_e18_variation,
+    sweeps_e19_faults,
+    sweeps_fig10_adder,
+    sweeps_checks
+);
+criterion_main!(sweeps);

@@ -4,10 +4,15 @@
 use super::Experiment;
 use pmorph_core::elaborate::elaborate;
 use pmorph_core::{DefectMap, Fabric, FabricTiming, PowerModel};
+use pmorph_exec::{sweep, SweepConfig};
 use pmorph_sim::{Logic, Simulator};
 use pmorph_synth::{lut3, map_function, mapk, TruthTable};
+use pmorph_util::pool;
 use pmorph_util::rng::Rng;
 use pmorph_util::rng::StdRng;
+
+/// The defect rates E19 sweeps.
+const DEFECT_RATES: [f64; 3] = [0.002, 0.01, 0.03];
 
 /// Is a LUT mapping functionally correct on a (possibly faulty) fabric?
 fn lut_works(fabric: &Fabric, ports: &pmorph_synth::LutPorts, tt: &TruthTable) -> bool {
@@ -33,44 +38,79 @@ pub fn study_defects() -> Experiment {
     study_defects_scaled(40)
 }
 
+/// One E19 trial: sample the trial's defect map (historical seed formula
+/// `t·7919 + rate·10⁴` — the schedule the byte-identical repro output is
+/// pinned to) and score both mapping strategies against it. Returns
+/// `(naive worked, defect-aware worked)`. Independent per trial, so the
+/// sharded and flat paths agree bit-for-bit.
+#[doc(hidden)]
+pub fn defect_trial(rate: f64, t: usize) -> (bool, bool) {
+    let tt = TruthTable::parity(3);
+    let seed = t as u64 * 7919 + (rate * 1e4) as u64;
+    // a 4x6 die: six candidate rows for a 3-block LUT tile
+    let map = DefectMap::sample(4, 6, rate, seed);
+    // naive: always row 0
+    let naive = {
+        let mut fabric = Fabric::new(4, 6);
+        let ports = lut3(&mut fabric, 0, 0, &tt).unwrap();
+        let faulty = map.apply(&fabric);
+        lut_works(&faulty, &ports, &tt)
+    };
+    // defect-aware: try each row, keep the first whose *used* resources
+    // are undisturbed (a defect in an unused leaf is harmless — the
+    // point of the polymorphic fabric's sparing)
+    let mut aware = false;
+    for y in 0..6 {
+        let mut fabric = Fabric::new(4, 6);
+        let ports = lut3(&mut fabric, 0, y, &tt).unwrap();
+        if !map.disturbs(&fabric) {
+            let faulty = map.apply(&fabric);
+            aware = lut_works(&faulty, &ports, &tt);
+            break;
+        }
+    }
+    (naive, aware)
+}
+
+/// E19 yield curves on the sharded sweep engine: for each defect rate,
+/// `(rate, naive successes, defect-aware successes)` over `trials`
+/// independent trials.
+#[doc(hidden)]
+pub fn defect_yield_curves(trials: usize, cfg: &SweepConfig) -> Vec<(f64, usize, usize)> {
+    DEFECT_RATES
+        .iter()
+        .map(|&rate| {
+            let per_trial = sweep(trials, cfg, || (), |_, item| defect_trial(rate, item.index));
+            reduce_yields(rate, &per_trial.results)
+        })
+        .collect()
+}
+
+/// The pre-exec flat path (`pool::par_map_range` at an explicit worker
+/// count), retained as the differential-test reference for
+/// [`defect_yield_curves`].
+#[doc(hidden)]
+pub fn defect_yield_curves_flat(trials: usize, workers: usize) -> Vec<(f64, usize, usize)> {
+    DEFECT_RATES
+        .iter()
+        .map(|&rate| {
+            let per_trial = pool::par_map_range_with(trials, workers, |t| defect_trial(rate, t));
+            reduce_yields(rate, &per_trial)
+        })
+        .collect()
+}
+
+fn reduce_yields(rate: f64, per_trial: &[(bool, bool)]) -> (f64, usize, usize) {
+    let naive_ok = per_trial.iter().filter(|r| r.0).count();
+    let aware_ok = per_trial.iter().filter(|r| r.1).count();
+    (rate, naive_ok, aware_ok)
+}
+
 /// E19 at an explicit trial count per defect rate (see `experiments::Scale`).
 pub fn study_defects_scaled(trials: usize) -> Experiment {
-    let tt = TruthTable::parity(3);
     let mut rows = vec!["defect rate  naive yield  defect-aware yield".into()];
     let mut pass = true;
-    for rate in [0.002f64, 0.01, 0.03] {
-        let mut naive_ok = 0;
-        let mut aware_ok = 0;
-        for t in 0..trials {
-            let seed = t as u64 * 7919 + (rate * 1e4) as u64;
-            // a 4x6 die: six candidate rows for a 3-block LUT tile
-            let map = DefectMap::sample(4, 6, rate, seed);
-            // naive: always row 0
-            {
-                let mut fabric = Fabric::new(4, 6);
-                let ports = lut3(&mut fabric, 0, 0, &tt).unwrap();
-                let faulty = map.apply(&fabric);
-                if lut_works(&faulty, &ports, &tt) {
-                    naive_ok += 1;
-                }
-            }
-            // defect-aware: try each row, keep the first whose *used*
-            // resources are undisturbed (a defect in an unused leaf is
-            // harmless — the point of the polymorphic fabric's sparing)
-            {
-                for y in 0..6 {
-                    let mut fabric = Fabric::new(4, 6);
-                    let ports = lut3(&mut fabric, 0, y, &tt).unwrap();
-                    if !map.disturbs(&fabric) {
-                        let faulty = map.apply(&fabric);
-                        if lut_works(&faulty, &ports, &tt) {
-                            aware_ok += 1;
-                        }
-                        break;
-                    }
-                }
-            }
-        }
+    for (rate, naive_ok, aware_ok) in defect_yield_curves(trials, &SweepConfig::new()) {
         let naive_y = naive_ok as f64 / trials as f64;
         let aware_y = aware_ok as f64 / trials as f64;
         pass &= aware_y >= naive_y;

@@ -3,6 +3,8 @@
 use super::Experiment;
 use pmorph_core::elaborate::elaborate;
 use pmorph_core::{BlockConfig, Edge, Fabric, FabricTiming, OutMode, LANES};
+use pmorph_exec::{sweep, ShardCtx, SweepConfig};
+use pmorph_sim::engine::SimSnapshot;
 use pmorph_sim::{logic, Logic, Simulator};
 use pmorph_synth::{dff, lut3, ripple_adder, TruthTable};
 use pmorph_util::rng::Rng;
@@ -169,6 +171,110 @@ pub fn fig9_lut_dff() -> Experiment {
     }
 }
 
+/// The Fig. 10 random 8-bit test vectors: one sequential draw stream
+/// (seed 10), materialised up front so the sweep over vectors can be
+/// scheduled freely while the drawn values stay identical to the
+/// historical serial loop.
+#[doc(hidden)]
+pub fn fig10_adder_vectors(trials: usize) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(10);
+    (0..trials).map(|_| (rng.random::<u64>() & 0xFF, rng.random::<u64>() & 0xFF)).collect()
+}
+
+/// Per-worker state for the Fig. 10 vector sweep: one compiled simulator
+/// of the 8-bit ripple adder plus its just-built snapshot, restored
+/// before every vector (restore ≡ fresh, pinned by the sim crate's
+/// snapshot property suite).
+struct AdderCtx {
+    sim: Simulator,
+    initial: SimSnapshot,
+}
+
+impl ShardCtx for AdderCtx {}
+
+/// Check `a + b` on the mapped 8-bit ripple adder for each vector, via
+/// the sharded sweep engine: workers clone one compiled simulator each
+/// and `snapshot`/`restore` between vectors. Bit-identical to
+/// [`fig10_adder_check_flat`] at any worker count or shard size.
+#[doc(hidden)]
+pub fn fig10_adder_check(vectors: &[(u64, u64)], cfg: &SweepConfig) -> Vec<bool> {
+    let mut fabric = Fabric::new(2, 16);
+    let ports = ripple_adder(&mut fabric, 0, 0, 8).unwrap();
+    let elab = elaborate(&fabric, &FabricTiming::default());
+    sweep(
+        vectors.len(),
+        cfg,
+        || {
+            let sim = Simulator::new(elab.netlist.clone());
+            let initial = sim.snapshot();
+            AdderCtx { sim, initial }
+        },
+        |ctx, item| {
+            let (a, b) = vectors[item.index];
+            ctx.sim.restore(&ctx.initial);
+            drive_adder_vector(&mut ctx.sim, &ports, &elab, a, b);
+            ctx.sim.settle(20_000_000).unwrap();
+            read_adder_sum(&ctx.sim, &ports, &elab) == Some(a + b)
+        },
+    )
+    .results
+}
+
+/// The historical serial loop (one simulator, snapshot/restore,
+/// vector-at-a-time), retained as the differential-test reference for
+/// [`fig10_adder_check`].
+#[doc(hidden)]
+pub fn fig10_adder_check_flat(vectors: &[(u64, u64)]) -> Vec<bool> {
+    let mut fabric = Fabric::new(2, 16);
+    let ports = ripple_adder(&mut fabric, 0, 0, 8).unwrap();
+    let elab = elaborate(&fabric, &FabricTiming::default());
+    let mut sim = Simulator::new(elab.netlist.clone());
+    let initial = sim.snapshot();
+    vectors
+        .iter()
+        .enumerate()
+        .map(|(trial, &(a, b))| {
+            if trial > 0 {
+                sim.restore(&initial);
+            }
+            drive_adder_vector(&mut sim, &ports, &elab, a, b);
+            sim.settle(20_000_000).unwrap();
+            read_adder_sum(&sim, &ports, &elab) == Some(a + b)
+        })
+        .collect()
+}
+
+/// Drive one dual-rail input vector onto the mapped adder.
+fn drive_adder_vector(
+    sim: &mut Simulator,
+    ports: &pmorph_synth::AdderPorts,
+    elab: &pmorph_core::elaborate::Elaborated,
+    a: u64,
+    b: u64,
+) {
+    for i in 0..8 {
+        let av = a >> i & 1 == 1;
+        let bv = b >> i & 1 == 1;
+        sim.drive(ports.a[i].0.net(elab), Logic::from_bool(av));
+        sim.drive(ports.a[i].1.net(elab), Logic::from_bool(!av));
+        sim.drive(ports.b[i].0.net(elab), Logic::from_bool(bv));
+        sim.drive(ports.b[i].1.net(elab), Logic::from_bool(!bv));
+    }
+    sim.drive(ports.cin.0.net(elab), Logic::L0);
+    sim.drive(ports.cin.1.net(elab), Logic::L1);
+}
+
+/// Read the settled 9-bit sum (sum bits + carry out) as an integer.
+fn read_adder_sum(
+    sim: &Simulator,
+    ports: &pmorph_synth::AdderPorts,
+    elab: &pmorph_core::elaborate::Elaborated,
+) -> Option<u64> {
+    let mut bits: Vec<Logic> = ports.sum.iter().map(|p| sim.value(p.net(elab))).collect();
+    bits.push(sim.value(ports.cout.0.net(elab)));
+    logic::to_u64(&bits)
+}
+
 /// E8 / Fig. 10: ripple-carry datapath — 5 terms/bit, one bit per pair,
 /// linear ripple delay; plus the accumulator.
 pub fn fig10_datapath() -> Experiment {
@@ -183,39 +289,10 @@ pub fn fig10_datapath() -> Experiment {
     pass &= live == 5;
     rows.push(format!("product terms per full adder: {live} (paper: five)"));
     rows.push("bits per 6-NAND cell pair: 1 (carry on inter-cell lanes 4/5)".into());
-    // correctness, 8-bit random
-    let mut fabric = Fabric::new(2, 16);
-    let ports = ripple_adder(&mut fabric, 0, 0, 8).unwrap();
-    let elab = elaborate(&fabric, &FabricTiming::default());
-    let mut rng = StdRng::seed_from_u64(10);
-    let mut correct = 0;
-    // one simulator rewound to its just-built state per vector — the
-    // snapshot/restore sweep path (bit-identical to a fresh instance)
-    let mut sim = Simulator::new(elab.netlist.clone());
-    let initial = sim.snapshot();
-    for trial in 0..20 {
-        let a = rng.random::<u64>() & 0xFF;
-        let b = rng.random::<u64>() & 0xFF;
-        if trial > 0 {
-            sim.restore(&initial);
-        }
-        for i in 0..8 {
-            let av = a >> i & 1 == 1;
-            let bv = b >> i & 1 == 1;
-            sim.drive(ports.a[i].0.net(&elab), Logic::from_bool(av));
-            sim.drive(ports.a[i].1.net(&elab), Logic::from_bool(!av));
-            sim.drive(ports.b[i].0.net(&elab), Logic::from_bool(bv));
-            sim.drive(ports.b[i].1.net(&elab), Logic::from_bool(!bv));
-        }
-        sim.drive(ports.cin.0.net(&elab), Logic::L0);
-        sim.drive(ports.cin.1.net(&elab), Logic::L1);
-        sim.settle(20_000_000).unwrap();
-        let mut bits: Vec<Logic> = ports.sum.iter().map(|p| sim.value(p.net(&elab))).collect();
-        bits.push(sim.value(ports.cout.0.net(&elab)));
-        if logic::to_u64(&bits) == Some(a + b) {
-            correct += 1;
-        }
-    }
+    // correctness, 8-bit random: 20 vectors through the sharded sweep
+    // engine — per-worker simulators rewound between vectors
+    let vectors = fig10_adder_vectors(20);
+    let correct = fig10_adder_check(&vectors, &SweepConfig::new()).iter().filter(|&&ok| ok).count();
     pass &= correct == 20;
     rows.push(format!("8-bit adds, 20 random vectors: {correct}/20 correct"));
     // ripple delay series

@@ -18,6 +18,7 @@
 use crate::array::Fabric;
 use crate::config::{OutMode, LANES};
 use pmorph_device::CellMode;
+use pmorph_exec::{sweep, SweepConfig};
 use pmorph_util::rng::Rng;
 use pmorph_util::rng::StdRng;
 use std::collections::BTreeSet;
@@ -103,6 +104,27 @@ impl DefectMap {
             }
         }
         DefectMap { defects }
+    }
+
+    /// Sample one defect map per entry of `seeds`, in parallel on the
+    /// sharded sweep engine. Each map is [`DefectMap::sample`] with the
+    /// explicit per-trial seed — the caller owns the seed schedule (E19
+    /// keeps its historical `t·7919 + rate·10⁴` formula), so results are
+    /// bit-identical to a serial loop at any worker count or shard size.
+    pub fn sample_sweep(
+        width: usize,
+        height: usize,
+        cell_defect_rate: f64,
+        seeds: &[u64],
+        cfg: &SweepConfig,
+    ) -> Vec<DefectMap> {
+        sweep(
+            seeds.len(),
+            cfg,
+            || (),
+            |_, item| DefectMap::sample(width, height, cell_defect_rate, seeds[item.index]),
+        )
+        .results
     }
 
     /// Number of defects.

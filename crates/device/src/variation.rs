@@ -14,6 +14,7 @@
 
 use crate::mosfet::DgMosfet;
 use crate::vtc::ConfigurableInverter;
+use pmorph_exec::{sweep, SweepConfig};
 use pmorph_util::pool;
 use pmorph_util::rng::{mix_seed, Rng, StdRng};
 
@@ -74,20 +75,76 @@ pub fn run_study(
     lo_frac: f64,
     hi_frac: f64,
 ) -> VariationStudy {
+    run_study_cfg(model, samples, seed, lo_frac, hi_frac, &SweepConfig::new().with_seed(seed))
+}
+
+/// One sample's switching-threshold solve — the per-item kernel shared by
+/// the sharded and flat paths. Seeded from the item index alone (rule 1
+/// of the exec determinism contract), so any schedule yields the same
+/// bits.
+fn sample_threshold(
+    sigma: f64,
+    nominal: &ConfigurableInverter,
+    seed: u64,
+    i: usize,
+) -> Option<f64> {
+    let mut rng = StdRng::seed_from_u64(mix_seed(seed, i as u64));
+    let dvt_n = sigma * rng.std_normal();
+    let dvt_p = sigma * rng.std_normal();
+    let inv = ConfigurableInverter {
+        nmos: DgMosfet { vt0: nominal.nmos.vt0 + dvt_n, ..nominal.nmos },
+        pmos: DgMosfet { vt0: nominal.pmos.vt0 + dvt_p, ..nominal.pmos },
+        vdd: nominal.vdd,
+    };
+    inv.switching_threshold(0.0)
+}
+
+/// [`run_study`] under an explicit sweep configuration (worker count,
+/// shard size) — bit-identical to the default and to the flat reference
+/// at any setting.
+pub fn run_study_cfg(
+    model: VariationModel,
+    samples: usize,
+    seed: u64,
+    lo_frac: f64,
+    hi_frac: f64,
+    cfg: &SweepConfig,
+) -> VariationStudy {
     let nominal = ConfigurableInverter::default();
     let sigma = model.sigma_total();
-    let thresholds: Vec<Option<f64>> = pool::par_map_range(samples, |i| {
-        let mut rng = StdRng::seed_from_u64(mix_seed(seed, i as u64));
-        let dvt_n = sigma * rng.std_normal();
-        let dvt_p = sigma * rng.std_normal();
-        let inv = ConfigurableInverter {
-            nmos: DgMosfet { vt0: nominal.nmos.vt0 + dvt_n, ..nominal.nmos },
-            pmos: DgMosfet { vt0: nominal.pmos.vt0 + dvt_p, ..nominal.pmos },
-            vdd: nominal.vdd,
-        };
-        inv.switching_threshold(0.0)
-    });
+    let thresholds =
+        sweep(samples, cfg, || (), |_, item| sample_threshold(sigma, &nominal, seed, item.index))
+            .results;
+    reduce_study(samples, &nominal, &thresholds, lo_frac, hi_frac)
+}
 
+/// The pre-exec flat path (`pool::par_map_range` at an explicit worker
+/// count), retained as the differential-test reference for the sharded
+/// engine.
+#[doc(hidden)]
+pub fn run_study_flat(
+    model: VariationModel,
+    samples: usize,
+    seed: u64,
+    lo_frac: f64,
+    hi_frac: f64,
+    workers: usize,
+) -> VariationStudy {
+    let nominal = ConfigurableInverter::default();
+    let sigma = model.sigma_total();
+    let thresholds: Vec<Option<f64>> =
+        pool::par_map_range_with(samples, workers, |i| sample_threshold(sigma, &nominal, seed, i));
+    reduce_study(samples, &nominal, &thresholds, lo_frac, hi_frac)
+}
+
+/// Index-order reduction from per-sample thresholds to the study summary.
+fn reduce_study(
+    samples: usize,
+    nominal: &ConfigurableInverter,
+    thresholds: &[Option<f64>],
+    lo_frac: f64,
+    hi_frac: f64,
+) -> VariationStudy {
     let ok: Vec<f64> = thresholds.iter().filter_map(|t| *t).collect();
     let failures = thresholds
         .iter()
@@ -122,6 +179,17 @@ mod tests {
         let a = run_study(VariationModel::undoped_dg(), 64, 42, 0.3, 0.7);
         let b = run_study(VariationModel::undoped_dg(), 64, 42, 0.3, 0.7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_study_matches_flat_reference() {
+        let flat = run_study_flat(VariationModel::doped_bulk(), 64, 42, 0.3, 0.7, 1);
+        assert_eq!(run_study(VariationModel::doped_bulk(), 64, 42, 0.3, 0.7), flat);
+        for (workers, shard_size) in [(1, 1), (2, 7), (8, 64)] {
+            let cfg = SweepConfig::new().with_workers(workers).with_shard_size(shard_size);
+            let sharded = run_study_cfg(VariationModel::doped_bulk(), 64, 42, 0.3, 0.7, &cfg);
+            assert_eq!(sharded, flat, "workers={workers} shard_size={shard_size}");
+        }
     }
 
     #[test]

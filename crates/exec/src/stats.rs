@@ -1,0 +1,162 @@
+//! Sweep run statistics: per-shard timing/progress counters and the
+//! `PMORPH_BENCH_JSON`-compatible summary record.
+//!
+//! Everything here is *diagnostic*: worker assignments and timings vary
+//! run to run, while the sweep's `results` never do. The JSON record
+//! matches the shape the microbench sink writes (`name` / `median_ns` /
+//! `mean_ns` / `min_ns` / `iters` / `units_per_sec`), so a sweep summary
+//! can sit in a `BENCH_*.json` artifact next to timer-driven benches and
+//! pass `benchcheck` unchanged.
+
+use crate::sweep::SweepConfig;
+use pmorph_util::json::Value;
+
+/// Timing/progress record for one completed shard.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index.
+    pub index: usize,
+    /// First item index (inclusive).
+    pub start: usize,
+    /// One past the last item index.
+    pub end: usize,
+    /// Worker that ran the shard (scheduling-dependent).
+    pub worker: usize,
+    /// Wall-clock nanoseconds spent on the shard (including
+    /// `begin_shard`).
+    pub elapsed_ns: u128,
+}
+
+impl ShardStat {
+    /// Items the shard processed.
+    pub fn items(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Statistics for one sweep run.
+#[derive(Clone, Debug, Default)]
+pub struct SweepStats {
+    /// Total items processed.
+    pub items: usize,
+    /// Shards the workload was split into.
+    pub shards: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Resolved shard size (items per shard, last shard possibly short).
+    pub shard_size: usize,
+    /// End-to-end wall-clock nanoseconds (spawn to join).
+    pub elapsed_ns: u128,
+    /// Per-shard records, in shard-index order.
+    pub per_shard: Vec<ShardStat>,
+}
+
+impl SweepStats {
+    /// Items per second over the whole sweep (0 when nothing ran).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.items as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Median per-shard wall time in nanoseconds.
+    pub fn median_shard_ns(&self) -> f64 {
+        if self.per_shard.is_empty() {
+            return f64::NAN;
+        }
+        let mut ns: Vec<u128> = self.per_shard.iter().map(|s| s.elapsed_ns).collect();
+        ns.sort_unstable();
+        let mid = ns.len() / 2;
+        if ns.len() % 2 == 1 {
+            ns[mid] as f64
+        } else {
+            (ns[mid - 1] + ns[mid]) as f64 / 2.0
+        }
+    }
+
+    /// A bench record in the microbench JSON shape: one "iteration" per
+    /// shard, `units_per_sec` = items/second for the whole sweep. Suitable
+    /// for appending to a `BENCH_*.json` `benches` array.
+    pub fn bench_record(&self, name: &str) -> Value {
+        let mean =
+            if self.shards == 0 { f64::NAN } else { self.elapsed_ns as f64 / self.shards as f64 };
+        let min = self.per_shard.iter().map(|s| s.elapsed_ns).min().unwrap_or(0) as f64;
+        let mut rec = Value::object();
+        rec.set("name", Value::Str(name.to_string()))
+            .set("median_ns", Value::Num(self.median_shard_ns()))
+            .set("mean_ns", Value::Num(mean))
+            .set("min_ns", Value::Num(min))
+            .set("iters", Value::Num(self.shards as f64))
+            .set("units_per_iter", Value::Num(self.shard_size as f64))
+            .set("unit", Value::Str("elem".to_string()))
+            .set("units_per_sec", Value::Num(self.items_per_sec()))
+            .set("workers", Value::Num(self.workers as f64))
+            .set("shard_size", Value::Num(self.shard_size as f64));
+        rec
+    }
+
+    /// Human-readable one-line progress summary.
+    pub fn summary(&self, cfg: &SweepConfig) -> String {
+        format!(
+            "{} items in {} shards of {} on {} workers (seed {}): {:.1} ms, {:.3e} items/s",
+            self.items,
+            self.shards,
+            self.shard_size,
+            self.workers,
+            cfg.seed,
+            self.elapsed_ns as f64 / 1e6,
+            self.items_per_sec()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{sweep, SweepConfig};
+    use pmorph_util::json::Value;
+
+    fn run_small() -> SweepStats {
+        let cfg = SweepConfig::new().with_workers(2).with_shard_size(4).with_seed(3);
+        sweep(10, &cfg, || (), |_, item| item.index).stats
+    }
+
+    #[test]
+    fn counters_describe_the_run() {
+        let stats = run_small();
+        assert_eq!(stats.items, 10);
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.shard_size, 4);
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.per_shard.len(), 3);
+        assert_eq!(stats.per_shard[2].items(), 2, "tail shard is short");
+        assert!(stats.per_shard.iter().enumerate().all(|(i, s)| s.index == i), "index order");
+        assert!(stats.elapsed_ns > 0);
+        assert!(stats.items_per_sec() > 0.0);
+        assert!(stats.median_shard_ns() >= 0.0);
+    }
+
+    #[test]
+    fn bench_record_matches_microbench_shape() {
+        let stats = run_small();
+        let rec = stats.bench_record("sweeps/unit_probe");
+        assert_eq!(rec.get("name").and_then(Value::as_str), Some("sweeps/unit_probe"));
+        for field in ["median_ns", "mean_ns", "min_ns", "iters", "units_per_sec"] {
+            assert!(
+                rec.get(field).and_then(Value::as_f64).is_some(),
+                "field `{field}` missing or non-numeric"
+            );
+        }
+        assert_eq!(rec.get("iters").and_then(Value::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn summary_mentions_the_geometry() {
+        let cfg = SweepConfig::new().with_workers(2).with_shard_size(4).with_seed(3);
+        let s = run_small().summary(&cfg);
+        assert!(s.contains("10 items"), "{s}");
+        assert!(s.contains("3 shards"), "{s}");
+        assert!(s.contains("2 workers"), "{s}");
+    }
+}

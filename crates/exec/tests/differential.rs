@@ -1,0 +1,89 @@
+//! Thread-matrix differential suite for the sharded sweep engine.
+//!
+//! Every ported call site (E18 variation Monte-Carlo, E19 defect-yield
+//! curves, the Fig. 10 adder vector sweep) is run across the full worker
+//! × shard-size matrix and demanded bit-identical to its retained flat
+//! reference *and* to every other configuration. This is the enforcement
+//! arm of the exec determinism contract: result bits may depend only on
+//! item index and caller seeds, never on scheduling geometry.
+//!
+//! Worker counts are pinned with [`SweepConfig::with_workers`] so the
+//! matrix is exercised regardless of the `PMORPH_THREADS` the harness
+//! happens to run under; the CI thread-matrix leg additionally runs the
+//! whole suite at `PMORPH_THREADS={1,8}` to cover the env-derived
+//! default path.
+
+use pmorph_bench::experiments::extensions::{defect_yield_curves, defect_yield_curves_flat};
+use pmorph_bench::experiments::fabric_figs::{
+    fig10_adder_check, fig10_adder_check_flat, fig10_adder_vectors,
+};
+use pmorph_device::variation::{run_study_cfg, run_study_flat, VariationModel};
+use pmorph_exec::SweepConfig;
+
+const WORKERS: [usize; 4] = [1, 2, 3, 8];
+
+/// The worker × shard-size matrix for an `n`-item sweep: shard sizes
+/// {1, 7, 64, n} cover one-item shards, odd non-dividing shards, shards
+/// larger than most sweeps, and the single-shard (serial-path) extreme.
+fn matrix(n: usize) -> Vec<SweepConfig> {
+    let mut cfgs = Vec::new();
+    for &w in &WORKERS {
+        for &s in &[1usize, 7, 64, n.max(1)] {
+            cfgs.push(SweepConfig::new().with_workers(w).with_shard_size(s));
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn e18_variation_study_is_identical_across_the_thread_matrix() {
+    let samples = 56;
+    for model in [VariationModel::doped_bulk(), VariationModel::undoped_dg()] {
+        let flat = run_study_flat(model, samples, 42, 0.4, 0.6, 1);
+        for cfg in matrix(samples) {
+            let got = run_study_cfg(model, samples, 42, 0.4, 0.6, &cfg);
+            assert_eq!(
+                got, flat,
+                "E18 diverged at workers={:?} shard={}",
+                cfg.workers, cfg.shard_size
+            );
+        }
+    }
+}
+
+#[test]
+fn e19_defect_yield_curves_are_identical_across_the_thread_matrix() {
+    let trials = 6;
+    let flat = defect_yield_curves_flat(trials, 1);
+    assert_eq!(flat.len(), 3, "three defect rates per curve set");
+    for cfg in matrix(trials) {
+        let got = defect_yield_curves(trials, &cfg);
+        assert_eq!(got, flat, "E19 diverged at workers={:?} shard={}", cfg.workers, cfg.shard_size);
+    }
+}
+
+#[test]
+fn fig10_adder_vector_sweep_is_identical_across_the_thread_matrix() {
+    let vectors = fig10_adder_vectors(20);
+    let flat = fig10_adder_check_flat(&vectors);
+    assert!(flat.iter().all(|&ok| ok), "reference adder run must pass every vector");
+    for cfg in matrix(vectors.len()) {
+        let got = fig10_adder_check(&vectors, &cfg);
+        assert_eq!(
+            got, flat,
+            "fig10 diverged at workers={:?} shard={}",
+            cfg.workers, cfg.shard_size
+        );
+    }
+}
+
+#[test]
+fn fig10_vectors_match_the_historical_draw_stream() {
+    // The pre-drawn vector list must be a pure prefix property: asking
+    // for fewer trials yields a prefix of the longer stream (same serial
+    // RNG), so scaled runs stay comparable.
+    let short = fig10_adder_vectors(5);
+    let long = fig10_adder_vectors(20);
+    assert_eq!(&long[..5], &short[..]);
+    assert!(long.iter().all(|&(a, b)| a < 256 && b < 256));
+}

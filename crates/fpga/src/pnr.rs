@@ -11,7 +11,9 @@
 
 use crate::arch::FpgaArch;
 use crate::mapper::MappedDesign;
+use pmorph_exec::{sweep, SweepConfig};
 use pmorph_sim::NetId;
+use pmorph_util::rng::{mix_seed, Rng, StdRng};
 use std::collections::{HashMap, VecDeque};
 
 /// Placement + routing result.
@@ -58,12 +60,15 @@ impl FpgaTiming {
 /// Place a mapped design: connectivity-aware ordering (BFS from the first
 /// output cone) then scan placement on the smallest square grid.
 pub fn place(design: &MappedDesign) -> PnrResult {
-    let n = design.luts.len().max(1);
-    let grid = (n as f64).sqrt().ceil() as usize;
-    // order LUTs by BFS over fanin edges so connected logic lands nearby
+    place_with_order(design, &bfs_order(design))
+}
+
+/// The deterministic connectivity-driven LUT ordering: BFS over fanin
+/// edges from the output cones, stragglers appended in index order.
+fn bfs_order(design: &MappedDesign) -> Vec<usize> {
     let by_out: HashMap<NetId, usize> =
         design.luts.iter().enumerate().map(|(i, l)| (l.output, i)).collect();
-    let mut order = Vec::with_capacity(n);
+    let mut order = Vec::with_capacity(design.luts.len());
     let mut seen = vec![false; design.luts.len()];
     let mut queue: VecDeque<usize> = VecDeque::new();
     for &o in &design.outputs {
@@ -90,12 +95,67 @@ pub fn place(design: &MappedDesign) -> PnrResult {
             order.push(i);
         }
     }
+    order
+}
+
+/// Scan placement of an explicit LUT ordering onto the smallest square
+/// grid (slot `k` of `order` lands at `(k % grid, k / grid)`).
+fn place_with_order(design: &MappedDesign, order: &[usize]) -> PnrResult {
+    let n = design.luts.len().max(1);
+    let grid = (n as f64).sqrt().ceil() as usize;
     let mut placement = HashMap::new();
     for (slot, &lut_idx) in order.iter().enumerate() {
         let (x, y) = (slot % grid, slot / grid);
         placement.insert(design.luts[lut_idx].output.0, (x, y));
     }
     PnrResult { grid, placement, ..PnrResult::default() }
+}
+
+/// Placement-candidate search on the sharded sweep engine: candidate 0
+/// is the deterministic BFS ordering ([`place`]); candidate `k > 0`
+/// shuffles that ordering with `mix_seed(seed, k)`. Every candidate is
+/// placed, routed and timed, and the winner is the argmin of
+/// `(critical path, total wirelength, candidate index)` — a total order,
+/// so the result is deterministic at any worker count or shard size, and
+/// never worse than the unseeded flow.
+///
+/// Returns `(best pnr, its critical path ps, winning candidate index)`.
+pub fn best_seeded_placement(
+    design: &MappedDesign,
+    candidates: usize,
+    seed: u64,
+    timing: &FpgaTiming,
+    cfg: &SweepConfig,
+) -> (PnrResult, f64, usize) {
+    let candidates = candidates.max(1);
+    let base_order = bfs_order(design);
+    let scored = sweep(
+        candidates,
+        cfg,
+        || (),
+        |_, item| {
+            let mut order = base_order.clone();
+            if item.index > 0 {
+                // candidate seed keyed by candidate index alone (contract
+                // rule 1), never by shard/worker identity
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, item.index as u64));
+                rng.shuffle(&mut order);
+            }
+            let mut pnr = place_with_order(design, &order);
+            route(design, &mut pnr);
+            let cp = critical_path_ps(design, &pnr, timing);
+            (pnr, cp)
+        },
+    )
+    .results;
+    let (best_idx, (pnr, cp)) = scored
+        .into_iter()
+        .enumerate()
+        .min_by(|(ia, (pa, ca)), (ib, (pb, cb))| {
+            ca.total_cmp(cb).then(pa.total_wirelength.cmp(&pb.total_wirelength)).then(ia.cmp(ib))
+        })
+        .expect("at least one candidate");
+    (pnr, cp, best_idx)
 }
 
 /// Route every LUT-input connection through the channel grid with
@@ -289,6 +349,46 @@ mod tests {
         assert!(big >= small, "bigger designs need at least as many tracks");
         // within the default architecture's channel budget
         assert!(big <= crate::arch::FpgaArch::default().channel_width);
+    }
+
+    #[test]
+    fn seeded_search_candidate_zero_is_the_unseeded_flow() {
+        let d = tree_design(32);
+        let t = FpgaTiming::default();
+        let (base_pnr, base_cp) = place_and_route(&d, &t);
+        let (pnr, cp, idx) = best_seeded_placement(&d, 1, 0xF1A5, &t, &SweepConfig::new());
+        assert_eq!(idx, 0, "single candidate must be the BFS ordering");
+        assert_eq!(cp, base_cp);
+        assert_eq!(pnr.placement, base_pnr.placement);
+        assert_eq!(pnr.total_wirelength, base_pnr.total_wirelength);
+    }
+
+    #[test]
+    fn seeded_search_is_deterministic_across_workers_and_shards() {
+        let d = tree_design(64);
+        let t = FpgaTiming::default();
+        let reference = best_seeded_placement(&d, 12, 7, &t, &SweepConfig::new().with_workers(1));
+        for workers in [1usize, 2, 3, 8] {
+            for shard in [1usize, 3, 12] {
+                let cfg = SweepConfig::new().with_workers(workers).with_shard_size(shard);
+                let got = best_seeded_placement(&d, 12, 7, &t, &cfg);
+                assert_eq!(got.2, reference.2, "winner index w={workers} s={shard}");
+                assert_eq!(got.1, reference.1, "critical path w={workers} s={shard}");
+                assert_eq!(got.0.placement, reference.0.placement, "w={workers} s={shard}");
+                assert_eq!(got.0.total_wirelength, reference.0.total_wirelength);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_search_never_loses_to_the_unseeded_flow() {
+        let t = FpgaTiming::default();
+        for width in [16usize, 48] {
+            let d = tree_design(width);
+            let (_, base_cp) = place_and_route(&d, &t);
+            let (_, cp, _) = best_seeded_placement(&d, 8, 0xBEEF, &t, &SweepConfig::new());
+            assert!(cp <= base_cp, "width {width}: seeded {cp} vs baseline {base_cp}");
+        }
     }
 
     #[test]

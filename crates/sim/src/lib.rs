@@ -30,6 +30,8 @@ pub mod netlist;
 mod queue;
 #[doc(hidden)]
 pub mod reference;
+#[doc(hidden)]
+pub mod testgen;
 pub mod timing;
 pub mod vcd;
 pub mod vectors;

@@ -1,0 +1,100 @@
+//! Randomized netlist/stimulus generators for property tests.
+//!
+//! Shared by the kernel-vs-reference differential suite
+//! (`tests/differential.rs`), the snapshot/restore property suite
+//! (`tests/snapshot_prop.rs`), and any downstream crate that wants to
+//! throw random circuits at the engine. Hidden from docs: the API is a
+//! test fixture, not a modelling surface, and may change shape freely.
+
+use crate::builder::NetlistBuilder;
+use crate::logic::Logic;
+use crate::netlist::{DriveMode, NetId, Netlist};
+use pmorph_util::prop::Gen;
+
+/// Build a random netlist: gates with feedback, optional state elements,
+/// optional tri-state bus, optional slow clock (half-period occasionally
+/// beyond the 256-slot timing wheel, so events spill into the overflow
+/// heap). Returns the netlist plus the externally-driven nets.
+pub fn random_netlist(g: &mut Gen) -> (Netlist, Vec<NetId>) {
+    let mut b = NetlistBuilder::new().with_default_delay(g.in_range(1u64..=9));
+    let inputs: Vec<NetId> = (0..4).map(|i| b.net(format!("in{i}"))).collect();
+    let mut pool = inputs.clone();
+
+    // A handful of pre-allocated nets that gates may drive *into*, so the
+    // generator can close combinational feedback loops.
+    let loop_nets: Vec<NetId> = (0..3).map(|i| b.net(format!("loop{i}"))).collect();
+    pool.extend(&loop_nets);
+
+    let n_gates = g.in_range(6usize..=20);
+    for k in 0..n_gates {
+        let x = pool[g.in_range(0..pool.len())];
+        let y = pool[g.in_range(0..pool.len())];
+        if k < loop_nets.len() && g.bool() {
+            // close a loop through a pre-allocated net
+            b.nand_into(&[x, y], loop_nets[k]);
+            continue;
+        }
+        let out = match g.in_range(0u32..5) {
+            0 => b.nand(&[x, y]),
+            1 => b.or(&[x, y]),
+            2 => b.xor(&[x, y]),
+            3 => b.and(&[x, y]),
+            _ => b.inv(x),
+        };
+        pool.push(out);
+    }
+
+    if g.bool() {
+        // shared tri-state bus with two drivers and complementary enables
+        let bus = b.net("bus");
+        let en = pool[g.in_range(0..pool.len())];
+        let nen = b.inv(en);
+        let d0 = pool[g.in_range(0..pool.len())];
+        let d1 = pool[g.in_range(0..pool.len())];
+        b.tribuf_into(d0, en, bus, DriveMode::NonInverting);
+        b.tribuf_into(d1, nen, bus, DriveMode::Inverting);
+        pool.push(bus);
+    }
+
+    if g.bool() {
+        // clock + DFF; half-period occasionally beyond the 256-slot wheel
+        let clk = b.net("clk");
+        let half = if g.bool() { g.in_range(2100u64..=6000) } else { g.in_range(3u64..=40) };
+        b.clock(clk, half, g.in_range(0u64..=5));
+        let d = pool[g.in_range(0..pool.len())];
+        let q = b.net("q");
+        b.dff(d, clk, None, q);
+        pool.push(q);
+    }
+
+    if g.bool() {
+        let d = pool[g.in_range(0..pool.len())];
+        let en = pool[g.in_range(0..pool.len())];
+        let q = b.net("lq");
+        b.latch(d, en, q);
+        pool.push(q);
+    }
+
+    (b.build(), inputs)
+}
+
+/// A random stimulus schedule over the input nets: `(time, net, value)`
+/// with strictly increasing per-net times (drive_at requirement is only
+/// time >= now; every consumer must receive the identical list).
+pub fn random_schedule(g: &mut Gen, inputs: &[NetId]) -> Vec<(u64, NetId, Logic)> {
+    let n = g.in_range(3usize..=12);
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            t += g.in_range(1u64..=3000);
+            let net = inputs[g.in_range(0..inputs.len())];
+            let v = match g.in_range(0u32..4) {
+                0 => Logic::L0,
+                1 => Logic::L1,
+                2 => Logic::X,
+                _ => Logic::Z,
+            };
+            (t, net, v)
+        })
+        .collect()
+}

@@ -7,6 +7,7 @@
 use crate::engine::{SimError, Simulator};
 use crate::logic::Logic;
 use crate::netlist::{NetId, Netlist};
+use pmorph_exec::{sweep, ShardCtx, ShardInfo, SweepConfig};
 
 /// Per-vector event budget used by the exhaustive sweeps.
 pub const VECTOR_EVENT_BUDGET: u64 = 200_000;
@@ -71,6 +72,98 @@ pub fn exhaustive_truth(
         }
         return Ok(masks);
     }
+    characterize(netlist, inputs, outputs, &SweepConfig::new())
+}
+
+/// Per-worker state for the multi-vector sweeps: one compiled simulator
+/// plus its just-built snapshot, restored before every vector. The
+/// engine's *restore ≡ fresh* contract (pinned by
+/// `tests/snapshot_prop.rs`) is what makes every vector independent of
+/// sweep order, worker count, and shard geometry.
+struct VectorCtx {
+    sim: Simulator,
+    initial: crate::engine::SimSnapshot,
+}
+
+impl VectorCtx {
+    fn new(netlist: &Netlist) -> Self {
+        let sim = Simulator::new(netlist.clone());
+        let initial = sim.snapshot();
+        VectorCtx { sim, initial }
+    }
+
+    /// Settled output values under one input assignment, from rewound
+    /// state — bit-identical to a fresh instance per vector.
+    fn run_vector(
+        &mut self,
+        inputs: &[NetId],
+        outputs: &[NetId],
+        assignment: u64,
+    ) -> Result<Vec<Logic>, SimError> {
+        self.sim.restore(&self.initial);
+        for (i, &inp) in inputs.iter().enumerate() {
+            self.sim.drive(inp, Logic::from_bool(assignment >> i & 1 == 1));
+        }
+        self.sim.settle(VECTOR_EVENT_BUDGET)?;
+        Ok(self.sim.values(outputs))
+    }
+}
+
+impl ShardCtx for VectorCtx {
+    fn begin_shard(&mut self, _shard: &ShardInfo) {}
+}
+
+/// The event-driven multi-vector characterization behind
+/// [`exhaustive_truth`]'s non-levelizable path, under an explicit sweep
+/// configuration: assignments are sharded across workers, each worker
+/// clones one compiled simulator and `snapshot`/`restore`s between
+/// vectors, and the masks reduce in assignment order. On any vector
+/// error the lowest-numbered assignment's error is returned — the same
+/// error the serial reference loop stops at.
+pub fn characterize(
+    netlist: &Netlist,
+    inputs: &[NetId],
+    outputs: &[NetId],
+    cfg: &SweepConfig,
+) -> Result<Vec<Option<u64>>, SimError> {
+    let n = inputs.len();
+    assert!(n <= 20, "exhaustive sweep limited to 20 inputs");
+    let per_vector = sweep(
+        1usize << n,
+        cfg,
+        || VectorCtx::new(netlist),
+        |ctx, item| ctx.run_vector(inputs, outputs, item.index as u64),
+    )
+    .results;
+    let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
+    for (assignment, values) in per_vector.into_iter().enumerate() {
+        let values = values?; // lowest-index error, as in the serial loop
+        for (o, v) in values.into_iter().enumerate() {
+            match v.to_bool() {
+                Some(true) if n <= 6 => {
+                    if let Some(m) = masks[o].as_mut() {
+                        *m |= 1 << assignment;
+                    }
+                }
+                Some(true) | Some(false) => {}
+                None => masks[o] = None,
+            }
+        }
+    }
+    Ok(masks)
+}
+
+/// The pre-exec serial event path of [`exhaustive_truth`] (one simulator,
+/// snapshot/restore, vector-at-a-time), retained as the differential-test
+/// reference for [`characterize`].
+#[doc(hidden)]
+pub fn exhaustive_truth_flat(
+    netlist: &Netlist,
+    inputs: &[NetId],
+    outputs: &[NetId],
+) -> Result<Vec<Option<u64>>, SimError> {
+    let n = inputs.len();
+    assert!(n <= 20, "exhaustive sweep limited to 20 inputs");
     let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
     // One simulator for the whole sweep, rewound to its just-built state
     // before each vector via snapshot/restore — bit-identical to a fresh
@@ -146,6 +239,29 @@ mod tests {
         let masks = exhaustive_truth(&nl, &[x, y, z], &[maj]).unwrap();
         // majority true for assignments 3,5,6,7
         assert_eq!(masks, vec![Some(0b1110_1000)]);
+    }
+
+    #[test]
+    fn characterize_matches_flat_reference_on_event_path() {
+        // A latch defeats levelization, so this exercises the sharded
+        // event-driven path against the serial snapshot/restore loop.
+        let mut b = NetlistBuilder::new();
+        let d = b.net("d");
+        let en = b.net("en");
+        let q = b.net("q");
+        b.latch(d, en, q);
+        let g = b.and(&[q, d]);
+        let nl = b.build();
+        let flat = exhaustive_truth_flat(&nl, &[d, en], &[q, g]).unwrap();
+        assert_eq!(exhaustive_truth(&nl, &[d, en], &[q, g]).unwrap(), flat);
+        for (workers, shard_size) in [(1usize, 1usize), (2, 1), (3, 2), (8, 4)] {
+            let cfg = SweepConfig::new().with_workers(workers).with_shard_size(shard_size);
+            assert_eq!(
+                characterize(&nl, &[d, en], &[q, g], &cfg).unwrap(),
+                flat,
+                "workers={workers} shard_size={shard_size}"
+            );
+        }
     }
 
     #[test]

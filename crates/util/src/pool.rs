@@ -45,7 +45,20 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    let workers = worker_count().min(n);
+    par_map_range_with(n, worker_count(), f)
+}
+
+/// [`par_map_range`] with an explicit worker count (bypasses
+/// `PMORPH_THREADS`). `workers <= 1` is a true serial path: `f` runs
+/// inline on the calling thread with no spawn, no atomics, and no result
+/// slots — and, because every caller seeds per item, bit-identical
+/// output to any threaded run.
+pub fn par_map_range_with<U, F>(n: usize, workers: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = workers.min(n);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -116,6 +129,45 @@ mod tests {
         let serial: Vec<f64> = (0..64).map(sample).collect();
         let parallel = par_map_range(64, sample);
         assert_eq!(serial, parallel, "bit-identical regardless of threading");
+    }
+
+    #[test]
+    fn serial_path_runs_inline_without_spawning() {
+        // workers=1 must execute on the calling thread — the
+        // `PMORPH_THREADS=1` contract (no spawn, simple stack traces).
+        let caller = std::thread::current().id();
+        let ids = par_map_range_with(64, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller), "workers=1 stayed on the calling thread");
+        // a threaded run with >=2 workers does spawn
+        let ids = par_map_range_with(64, 4, |_| std::thread::current().id());
+        assert!(ids.iter().any(|&id| id != caller), "workers=4 used worker threads");
+    }
+
+    #[test]
+    fn serial_and_threaded_agree_on_10k_item_map() {
+        // The panic-free 10k-item agreement check: identical results from
+        // the inline path and every threaded width, including seeded work.
+        let work = |i: usize| {
+            let mut rng = crate::rng::StdRng::seed_from_u64(crate::rng::mix_seed(0xD06, i as u64));
+            use crate::rng::Rng;
+            (i, rng.random::<u64>(), rng.random::<f64>())
+        };
+        let serial = par_map_range_with(10_000, 1, work);
+        assert_eq!(serial.len(), 10_000);
+        for workers in [2usize, 3, 8] {
+            let threaded = par_map_range_with(10_000, workers, work);
+            assert_eq!(serial, threaded, "workers={workers} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn explicit_worker_count_is_independent_of_env() {
+        // par_map_range_with never consults PMORPH_THREADS; order and
+        // values are fixed by the index alone.
+        let expect: Vec<usize> = (0..100).map(|i| i * 3).collect();
+        for workers in [1usize, 2, 7, 100, 1000] {
+            assert_eq!(par_map_range_with(100, workers, |i| i * 3), expect);
+        }
     }
 
     #[test]

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Regenerate the tracked kernel perf baseline.
+# Regenerate the tracked perf baselines.
 #
 # Runs the `kernel` bench suite (release/bench profile) with the JSON sink
-# pointed at BENCH_kernel.json in the repo root, then validates the
-# artifact with `benchcheck` (structure, positive medians, events/sec for
-# the three tracked workloads, and the allocation-free steady-state check).
+# pointed at BENCH_kernel.json in the repo root, then the `sweeps` suite
+# (sharded sweep engine vs flat references) into BENCH_sweeps.json, and
+# validates each artifact with `benchcheck` (structure, positive medians,
+# required throughput workloads, and every recorded pass/fail check —
+# allocation-free steady state for the kernel; bit-identity and the
+# core-scaled sharded-vs-flat speedup floor for the sweeps).
 #
 # Budget: PMORPH_BENCH_MS per benchmark (default 300 ms). CI runs a short
 # smoke (PMORPH_BENCH_MS=20) via scripts/verify.sh; for a baseline worth
@@ -16,12 +19,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
-# Absolute path: cargo runs the bench binary from the crate directory, so a
-# relative sink path would land in crates/bench/ instead of the repo root.
-OUT="$(pwd)/${PMORPH_BENCH_JSON:-BENCH_kernel.json}"
+# Absolute paths: cargo runs the bench binaries from the crate directory,
+# so relative sink paths would land in crates/bench/ instead of the root.
+KERNEL_OUT="$(pwd)/${PMORPH_BENCH_JSON:-BENCH_kernel.json}"
+SWEEPS_OUT="$(pwd)/${PMORPH_SWEEPS_JSON:-BENCH_sweeps.json}"
 
 echo "== kernel bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench) =="
-PMORPH_BENCH_JSON="$OUT" cargo bench -q -p pmorph-bench --bench kernel
+PMORPH_BENCH_JSON="$KERNEL_OUT" cargo bench -q -p pmorph-bench --bench kernel
 
-echo "== validate $OUT =="
-cargo run -q -p pmorph-bench --bin benchcheck -- "$OUT"
+echo "== sweeps bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench) =="
+PMORPH_BENCH_JSON="$SWEEPS_OUT" cargo bench -q -p pmorph-bench --bench sweeps
+
+echo "== validate $KERNEL_OUT =="
+cargo run -q -p pmorph-bench --bin benchcheck -- "$KERNEL_OUT"
+
+echo "== validate $SWEEPS_OUT =="
+cargo run -q -p pmorph-bench --bin benchcheck -- "$SWEEPS_OUT" \
+    sweeps/e18_variation/sharded sweeps/e18_variation/flat \
+    sweeps/e19_faults/sharded sweeps/fig10_adder/sharded

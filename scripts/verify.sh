@@ -31,4 +31,14 @@ PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_kernel.smoke.json" \
     cargo bench -q -p pmorph-bench --bench kernel >/dev/null
 cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_kernel.smoke.json
 
+echo "== sweep-engine bench smoke (short budget) =="
+# Same treatment for the sharded sweep suite: exercises the sharded vs
+# flat legs of E18/E19/fig10, the thread1-vs-N bit-identity check, and
+# the core-scaled speedup floor, then validates the JSON artifact.
+PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_sweeps.smoke.json" \
+    cargo bench -q -p pmorph-bench --bench sweeps >/dev/null
+cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_sweeps.smoke.json \
+    sweeps/e18_variation/sharded sweeps/e18_variation/flat \
+    sweeps/e19_faults/sharded sweeps/fig10_adder/sharded
+
 echo "verify: OK"
