@@ -351,6 +351,97 @@ fn kernel_alloc_free_steady_state(c: &mut Criterion) {
     assert!(ok, "steady-state event loop allocated {allocs} times");
 }
 
+/// Observability-layer cost, measured in-process with the gate forced
+/// each way on the *same* warmed simulator (A/B on one binary, so no
+/// build- or host-skew): a 31-stage ring re-run from a snapshot with the
+/// layer disabled, then enabled. The ratio is recorded as a pass/fail
+/// check — the enabled run-boundary flush is a couple dozen relaxed
+/// atomics per `run_until`, so anything beyond 1.5× means the "metrics
+/// are write-only side channels" contract has been broken. Registry
+/// micro-op costs ride along for the README table. Runs *after*
+/// `kernel_alloc_free_steady_state` in the group so the forced-enabled
+/// interning cannot perturb the allocation counter.
+fn kernel_obs_overhead(c: &mut Criterion) {
+    let stages = 31usize;
+    let mut nl = Netlist::new();
+    let en = nl.add_net("en");
+    let mut nets = vec![nl.add_net("n0")];
+    for i in 1..stages {
+        nets.push(nl.add_net(format!("n{i}")));
+    }
+    nl.add_comp(Component::Nand { inputs: vec![en, nets[stages - 1]], output: nets[0] }, 5);
+    for i in 1..stages {
+        nl.add_comp(Component::Inv { input: nets[i - 1], output: nets[i] }, 5);
+    }
+    let mut sim = Simulator::new(nl);
+    sim.drive(en, Logic::L0);
+    sim.settle(1_000_000).unwrap();
+    sim.drive(en, Logic::L1);
+    sim.run_until(100_000, 100_000_000).unwrap(); // warm every bucket
+    let snap = sim.snapshot();
+    let mut run = move || {
+        sim.restore(&snap);
+        sim.run_until(300_000, 100_000_000).unwrap();
+        black_box(sim.stats().events)
+    };
+
+    pmorph_obs::force(false);
+    c.bench_function("kernel/obs_overhead/disabled", |b| b.iter(&mut run));
+    let disabled_ns = c.last_median_ns();
+    pmorph_obs::force(true);
+    c.bench_function("kernel/obs_overhead/enabled", |b| b.iter(&mut run));
+    let enabled_ns = c.last_median_ns();
+
+    // Registry primitive costs, both sides of the gate. Batched 1024 ops
+    // per timed iteration: the disabled path is sub-nanosecond, and a
+    // single op would round to a 0 ns median — which benchcheck rightly
+    // rejects as a broken record. Per-op cost = median / 1024.
+    const OPS: u64 = 1024;
+    let ctr = pmorph_obs::counter!("bench.obs.counter");
+    let hist = pmorph_obs::histogram!("bench.obs.hist", pmorph_obs::bounds::TIME_NS);
+    let mut group = c.benchmark_group("obs/primitives_1024ops");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("counter_inc_enabled", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                ctr.inc();
+            }
+        })
+    });
+    group.bench_function("histogram_observe_enabled", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                hist.observe(black_box(4096));
+            }
+        })
+    });
+    pmorph_obs::force(false);
+    group.bench_function("counter_inc_disabled", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                ctr.inc();
+            }
+        })
+    });
+    group.bench_function("histogram_observe_disabled", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                hist.observe(black_box(4096));
+            }
+        })
+    });
+    group.finish();
+    pmorph_obs::force_from_env(); // leave the gate as the environment set it
+
+    let (Some(d), Some(e)) = (disabled_ns, enabled_ns) else {
+        panic!("obs overhead benches produced no samples");
+    };
+    let ratio = e / d;
+    println!("kernel/obs_overhead: enabled/disabled median ratio {ratio:.3}");
+    let ok = c.record_check("obs_enabled_overhead_ratio_le_1.5", ratio <= 1.5);
+    assert!(ok, "observability enabled-path overhead ratio {ratio:.3} exceeds 1.5");
+}
+
 criterion_group!(
     kernel,
     kernel_event_throughput,
@@ -361,6 +452,7 @@ criterion_group!(
     kernel_datapath_ripple16,
     kernel_micropipeline_deep,
     kernel_alloc_free_steady_state,
+    kernel_obs_overhead,
     study_variation_mc,
     study_gals_transfer
 );

@@ -4,23 +4,35 @@
 //! cargo run --release -p pmorph-bench --bin repro            # all
 //! cargo run --release -p pmorph-bench --bin repro -- E9 E10  # a subset
 //! cargo run --release -p pmorph-bench --bin repro -- --json results.json
+//! cargo run --release -p pmorph-bench --bin repro -- --fast  # regression scale
 //! ```
+//!
+//! With `PMORPH_OBS_JSON=<path>` set, a per-experiment metrics block (the
+//! observability registry's delta over that experiment) is appended to the
+//! run report. Metrics go only to that file and a stderr summary — stdout
+//! stays byte-identical with the layer on or off, which the
+//! `obs_differential` test pins.
 
-use pmorph_bench::experiments;
+use pmorph_bench::experiments::{self, Scale};
+use pmorph_obs::RunReport;
 use pmorph_util::json::ToJson;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut fast = false;
     let mut filters: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--json" {
             json_path = it.next();
+        } else if a == "--fast" {
+            fast = true;
         } else {
             filters.push(a);
         }
     }
+    let scale = if fast { Scale::fast() } else { Scale::full() };
 
     println!(
         "polymorphic-hw reproduction — Beckett, \"A Polymorphic Hardware Platform\", IPDPS 2003"
@@ -29,9 +41,25 @@ fn main() {
         "===================================================================================\n"
     );
 
-    // filtering happens in the registry, before any experiment runs, so a
-    // subset invocation only pays for the experiments it prints
-    let selected = experiments::run_matching(&filters, experiments::Scale::full());
+    // Iterate the registry directly (filtering before any experiment runs,
+    // so a subset invocation only pays for what it prints) and bracket each
+    // experiment with an observability snapshot: the delta is that
+    // experiment's metrics block in the run report.
+    let mut report = RunReport::from_env();
+    let mut baseline = report.is_active().then(pmorph_obs::snapshot);
+    let mut selected = Vec::new();
+    for (id, build) in experiments::registry() {
+        if !(filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))) {
+            continue;
+        }
+        let e = build(scale);
+        if let Some(base) = &baseline {
+            let now = pmorph_obs::snapshot();
+            report.record(id, &now.delta_since(base));
+            baseline = Some(now);
+        }
+        selected.push(e);
+    }
 
     let mut failures = 0;
     for e in &selected {
@@ -53,6 +81,7 @@ fn main() {
         std::fs::write(&path, json).expect("writes");
         println!("results written to {path}");
     }
+    drop(report); // flush the metrics report (stderr + PMORPH_OBS_JSON)
     if failures > 0 {
         std::process::exit(1);
     }

@@ -118,13 +118,24 @@ impl DefectMap {
         seeds: &[u64],
         cfg: &SweepConfig,
     ) -> Vec<DefectMap> {
-        sweep(
+        let t0 = pmorph_obs::enabled().then(std::time::Instant::now);
+        let results = sweep(
             seeds.len(),
             cfg,
             || (),
             |_, item| DefectMap::sample(width, height, cell_defect_rate, seeds[item.index]),
         )
-        .results
+        .results;
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            pmorph_obs::counter!("core.faults.samples").add(seeds.len() as u64);
+            pmorph_obs::span!("core.faults.sample_sweep").record_ns(ns);
+            if ns > 0 && !seeds.is_empty() {
+                pmorph_obs::gauge!("core.faults.samples_per_sec")
+                    .set(seeds.len() as f64 * 1.0e9 / ns as f64);
+            }
+        }
+        results
     }
 
     /// Number of defects.

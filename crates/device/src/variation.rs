@@ -112,9 +112,19 @@ pub fn run_study_cfg(
 ) -> VariationStudy {
     let nominal = ConfigurableInverter::default();
     let sigma = model.sigma_total();
+    let t0 = pmorph_obs::enabled().then(std::time::Instant::now);
     let thresholds =
         sweep(samples, cfg, || (), |_, item| sample_threshold(sigma, &nominal, seed, item.index))
             .results;
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        pmorph_obs::counter!("device.variation.samples").add(samples as u64);
+        pmorph_obs::span!("device.variation.study").record_ns(ns);
+        if ns > 0 && samples > 0 {
+            pmorph_obs::gauge!("device.variation.samples_per_sec")
+                .set(samples as f64 * 1.0e9 / ns as f64);
+        }
+    }
     reduce_study(samples, &nominal, &thresholds, lo_frac, hi_frac)
 }
 

@@ -60,31 +60,32 @@ impl SweepStats {
         self.items as f64 / (self.elapsed_ns as f64 / 1e9)
     }
 
-    /// Median per-shard wall time in nanoseconds.
-    pub fn median_shard_ns(&self) -> f64 {
+    /// Median per-shard wall time in nanoseconds, or `None` for an empty
+    /// sweep. (An earlier version returned `f64::NAN` here, which the JSON
+    /// writer silently serialized as `null` — downstream `benchcheck` then
+    /// choked on the record. Empty is now explicit at the type level.)
+    pub fn median_shard_ns(&self) -> Option<f64> {
         if self.per_shard.is_empty() {
-            return f64::NAN;
+            return None;
         }
         let mut ns: Vec<u128> = self.per_shard.iter().map(|s| s.elapsed_ns).collect();
         ns.sort_unstable();
         let mid = ns.len() / 2;
-        if ns.len() % 2 == 1 {
-            ns[mid] as f64
-        } else {
-            (ns[mid - 1] + ns[mid]) as f64 / 2.0
-        }
+        Some(if ns.len() % 2 == 1 { ns[mid] as f64 } else { (ns[mid - 1] + ns[mid]) as f64 / 2.0 })
     }
 
     /// A bench record in the microbench JSON shape: one "iteration" per
     /// shard, `units_per_sec` = items/second for the whole sweep. Suitable
-    /// for appending to a `BENCH_*.json` `benches` array.
-    pub fn bench_record(&self, name: &str) -> Value {
-        let mean =
-            if self.shards == 0 { f64::NAN } else { self.elapsed_ns as f64 / self.shards as f64 };
+    /// for appending to a `BENCH_*.json` `benches` array. Returns `None`
+    /// for an empty sweep — there is no timing to report, and a record
+    /// with `null` medians would be rejected by `benchcheck`.
+    pub fn bench_record(&self, name: &str) -> Option<Value> {
+        let median = self.median_shard_ns()?;
+        let mean = self.elapsed_ns as f64 / self.shards as f64;
         let min = self.per_shard.iter().map(|s| s.elapsed_ns).min().unwrap_or(0) as f64;
         let mut rec = Value::object();
         rec.set("name", Value::Str(name.to_string()))
-            .set("median_ns", Value::Num(self.median_shard_ns()))
+            .set("median_ns", Value::Num(median))
             .set("mean_ns", Value::Num(mean))
             .set("min_ns", Value::Num(min))
             .set("iters", Value::Num(self.shards as f64))
@@ -93,7 +94,7 @@ impl SweepStats {
             .set("units_per_sec", Value::Num(self.items_per_sec()))
             .set("workers", Value::Num(self.workers as f64))
             .set("shard_size", Value::Num(self.shard_size as f64));
-        rec
+        Some(rec)
     }
 
     /// Human-readable one-line progress summary.
@@ -134,13 +135,21 @@ mod tests {
         assert!(stats.per_shard.iter().enumerate().all(|(i, s)| s.index == i), "index order");
         assert!(stats.elapsed_ns > 0);
         assert!(stats.items_per_sec() > 0.0);
-        assert!(stats.median_shard_ns() >= 0.0);
+        assert!(stats.median_shard_ns().expect("non-empty sweep has a median") >= 0.0);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_median_and_no_record() {
+        let cfg = SweepConfig::new().with_workers(2);
+        let stats = sweep(0, &cfg, || (), |_, item| item.index).stats;
+        assert_eq!(stats.median_shard_ns(), None, "no shards, no median");
+        assert!(stats.bench_record("sweeps/empty").is_none(), "no record to serialize");
     }
 
     #[test]
     fn bench_record_matches_microbench_shape() {
         let stats = run_small();
-        let rec = stats.bench_record("sweeps/unit_probe");
+        let rec = stats.bench_record("sweeps/unit_probe").expect("non-empty sweep");
         assert_eq!(rec.get("name").and_then(Value::as_str), Some("sweeps/unit_probe"));
         for field in ["median_ns", "mean_ns", "min_ns", "iters", "units_per_sec"] {
             assert!(

@@ -160,6 +160,9 @@ where
     F: Fn(&mut W, &ItemCtx) -> U + Sync,
 {
     let t0 = Instant::now();
+    // Resolved once: the observability gate is process-global and cheap,
+    // but the worker loop should not even branch per shard on it.
+    let obs_on = pmorph_obs::enabled();
     let workers = cfg.resolved_workers(n);
     let shard_size = cfg.resolved_shard_size(n);
     let shards = if n == 0 { 0 } else { n.div_ceil(shard_size) };
@@ -199,6 +202,7 @@ where
             });
         }
         stats.elapsed_ns = t0.elapsed().as_nanos();
+        obs_flush_sweep(&stats);
         return SweepOutcome { results, stats };
     }
 
@@ -229,11 +233,19 @@ where
             scope.spawn(move || {
                 let mut ctx: Option<W> = None;
                 loop {
+                    // Claim latency: how long the shared-cursor claim takes
+                    // under contention. Clock reads only when the layer is
+                    // on — results never depend on them either way.
+                    let claim_t = if obs_on { Some(Instant::now()) } else { None };
                     let s = cursor.fetch_add(1, Ordering::Relaxed);
                     if s >= shards {
                         break;
                     }
                     let shard = shard_at(s);
+                    if let Some(t) = claim_t {
+                        pmorph_obs::histogram!("exec.claim_ns", pmorph_obs::bounds::TIME_NS)
+                            .observe(t.elapsed().as_nanos() as u64);
+                    }
                     let st = Instant::now();
                     let ctx = ctx.get_or_insert_with(make_ctx);
                     ctx.begin_shard(&shard);
@@ -258,6 +270,7 @@ where
         }
     });
 
+    let merge_t = if obs_on { Some(Instant::now()) } else { None };
     let results = slots
         .0
         .into_iter()
@@ -268,8 +281,54 @@ where
         .into_iter()
         .map(|c| c.into_inner().expect("worker recorded every shard"))
         .collect();
+    if let Some(t) = merge_t {
+        pmorph_obs::span!("exec.sweep.merge").record_ns(t.elapsed().as_nanos() as u64);
+    }
     stats.elapsed_ns = t0.elapsed().as_nanos();
+    obs_flush_sweep(&stats);
     SweepOutcome { results, stats }
+}
+
+/// Export one completed sweep's diagnostics to the observability layer.
+/// Write-only side channel: results are already fixed by the time this
+/// runs, so the sweep's bits are identical with the layer on or off.
+fn obs_flush_sweep(stats: &SweepStats) {
+    if !pmorph_obs::enabled() {
+        return;
+    }
+    pmorph_obs::counter!("exec.sweep.runs").inc();
+    pmorph_obs::counter!("exec.sweep.items").add(stats.items as u64);
+    pmorph_obs::counter!("exec.sweep.shards").add(stats.shards as u64);
+    pmorph_obs::span!("exec.sweep").record_ns(stats.elapsed_ns as u64);
+    let shard_hist = pmorph_obs::histogram!("exec.shard_ns", pmorph_obs::bounds::TIME_NS);
+    for s in &stats.per_shard {
+        shard_hist.observe(s.elapsed_ns as u64);
+    }
+    if stats.workers == 0 || stats.per_shard.is_empty() {
+        return;
+    }
+    // Per-worker load and the steal-imbalance ratio: busiest worker's busy
+    // nanoseconds over the mean (1.0 = a perfect split; large values mean
+    // the shard size is too coarse for stealing to balance).
+    let mut busy_ns = vec![0u128; stats.workers];
+    let mut items = vec![0u64; stats.workers];
+    for s in &stats.per_shard {
+        if let Some(b) = busy_ns.get_mut(s.worker) {
+            *b += s.elapsed_ns;
+            items[s.worker] += s.items() as u64;
+        }
+    }
+    const ITEM_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096, 16384, 65536];
+    let h = pmorph_obs::histogram!("exec.worker_items", ITEM_BOUNDS);
+    for &wi in &items {
+        h.observe(wi);
+    }
+    let total: u128 = busy_ns.iter().sum();
+    let max = busy_ns.iter().copied().max().unwrap_or(0);
+    if total > 0 {
+        let mean = total as f64 / stats.workers as f64;
+        pmorph_obs::gauge!("exec.sweep.imbalance").set_max(max as f64 / mean);
+    }
 }
 
 #[cfg(test)]

@@ -128,6 +128,7 @@ pub fn best_seeded_placement(
     cfg: &SweepConfig,
 ) -> (PnrResult, f64, usize) {
     let candidates = candidates.max(1);
+    let obs_t0 = pmorph_obs::enabled().then(std::time::Instant::now);
     let base_order = bfs_order(design);
     let scored = sweep(
         candidates,
@@ -148,13 +149,36 @@ pub fn best_seeded_placement(
         },
     )
     .results;
-    let (best_idx, (pnr, cp)) = scored
-        .into_iter()
-        .enumerate()
-        .min_by(|(ia, (pa, ca)), (ib, (pb, cb))| {
-            ca.total_cmp(cb).then(pa.total_wirelength.cmp(&pb.total_wirelength)).then(ia.cmp(ib))
-        })
-        .expect("at least one candidate");
+    // Argmin as a counting fold. A candidate replaces the incumbent only
+    // when strictly better under `(cp, wirelength, index)` — indices are
+    // distinct, so the comparator is a strict total order and this picks
+    // exactly the element `min_by` did, while also counting how many
+    // times the seeded search actually improved on the BFS baseline.
+    let mut improvements = 0u64;
+    let mut best: Option<(usize, (PnrResult, f64))> = None;
+    for (i, (pnr, cp)) in scored.into_iter().enumerate() {
+        let better = match &best {
+            None => true,
+            Some((bi, (bp, bc))) => {
+                cp.total_cmp(bc)
+                    .then(pnr.total_wirelength.cmp(&bp.total_wirelength))
+                    .then(i.cmp(bi))
+                    == std::cmp::Ordering::Less
+            }
+        };
+        if better {
+            if best.is_some() {
+                improvements += 1;
+            }
+            best = Some((i, (pnr, cp)));
+        }
+    }
+    pmorph_obs::counter!("fpga.pnr.candidates").add(candidates as u64);
+    pmorph_obs::counter!("fpga.pnr.improvements").add(improvements);
+    if let Some(t0) = obs_t0 {
+        pmorph_obs::span!("fpga.pnr.search").record_ns(t0.elapsed().as_nanos() as u64);
+    }
+    let (best_idx, (pnr, cp)) = best.expect("at least one candidate");
     (pnr, cp, best_idx)
 }
 

@@ -1,0 +1,182 @@
+//! # pmorph-obs
+//!
+//! Workspace-wide observability: a lock-free metrics registry (counters,
+//! gauges, fixed-bucket histograms, scoped span timers) plus a JSON
+//! run-report sink built on [`pmorph_util::json`].
+//!
+//! ## Gating
+//!
+//! The whole layer is **off by default**. Recording is enabled only when
+//! the process environment carries `PMORPH_OBS=1` (also `true`/`on`), or
+//! when `PMORPH_OBS_JSON=<path>` names a report sink (which implies the
+//! metrics feeding it should be collected). When disabled, every hot-path
+//! operation — [`Counter::add`], [`Histogram::observe`], [`Span::enter`] —
+//! is a single relaxed atomic load plus a predicted branch, with no stores,
+//! no locking, and no allocation; the kernel benchmarks pin this with an
+//! in-process enabled-vs-disabled ratio check (`scripts/bench.sh`).
+//!
+//! ## Determinism contract
+//!
+//! Metrics are **write-only side channels**: nothing in the workspace may
+//! read a metric back into a computation that produces result bits. The
+//! repro differential suite (`crates/bench/tests/obs_differential.rs`)
+//! enforces the consequence — full 23-experiment output is byte-identical
+//! with observability off, on, and at any `PMORPH_THREADS`.
+//!
+//! ## Usage
+//!
+//! Handles are interned once per call site through the [`counter!`],
+//! [`gauge!`], [`histogram!`] and [`span!`] macros (a `OnceLock` per site,
+//! lock-free after first use), so steady-state recording never touches the
+//! registry lock:
+//!
+//! ```
+//! pmorph_obs::counter!("demo.events").add(3);
+//! let _guard = pmorph_obs::span!("demo.phase").enter();
+//! pmorph_obs::histogram!("demo.latency_ns", pmorph_obs::bounds::TIME_NS).observe(1_200);
+//! ```
+//!
+//! Reporting reads the registry through [`registry::snapshot`] /
+//! [`registry::Snapshot::delta_since`] and renders per-phase metric blocks
+//! into the [`report::RunReport`] sink (`PMORPH_OBS_JSON=<path>`).
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod report;
+
+pub use registry::{snapshot, Counter, Gauge, Histogram, MetricValue, Snapshot, Span, SpanGuard};
+pub use report::RunReport;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const STATE_UNINIT: u8 = 0;
+const STATE_DISABLED: u8 = 1;
+const STATE_ENABLED: u8 = 2;
+
+/// Tri-state gate: resolved lazily from the environment on first query,
+/// overridable for in-process A/B benchmarking via [`force`].
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Is metric recording enabled? This is the disabled-path hot check: one
+/// relaxed load and a compare. The first call per process resolves
+/// `PMORPH_OBS` / `PMORPH_OBS_JSON` and caches the answer.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_UNINIT => init_from_env(),
+        s => s == STATE_ENABLED,
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = match std::env::var("PMORPH_OBS") {
+        Ok(v) => env_is_on(&v),
+        // An explicit report sink implies the metrics that feed it.
+        Err(_) => std::env::var("PMORPH_OBS_JSON").map(|p| !p.is_empty()).unwrap_or(false),
+    };
+    let want = if on { STATE_ENABLED } else { STATE_DISABLED };
+    // A concurrent `force` wins the race; re-read rather than assume.
+    let _ = STATE.compare_exchange(STATE_UNINIT, want, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == STATE_ENABLED
+}
+
+/// The `PMORPH_OBS` values that switch recording on.
+fn env_is_on(v: &str) -> bool {
+    matches!(v, "1" | "true" | "on")
+}
+
+/// Override the environment gate for this process — the hook behind the
+/// kernel bench's in-process disabled-vs-enabled overhead comparison and
+/// the registry tests. Takes effect immediately on all threads.
+#[doc(hidden)]
+pub fn force(on: bool) {
+    STATE.store(if on { STATE_ENABLED } else { STATE_DISABLED }, Ordering::Relaxed);
+}
+
+/// Reset the gate to "unresolved" so the next [`enabled`] call re-reads
+/// the environment. Test/bench hook only.
+#[doc(hidden)]
+pub fn force_from_env() {
+    STATE.store(STATE_UNINIT, Ordering::Relaxed);
+}
+
+/// Shared histogram bucket bounds.
+pub mod bounds {
+    /// Wall-clock bounds for nanosecond histograms: powers of four from
+    /// 256 ns to ~17 s, one overflow bucket beyond. Wide enough for a
+    /// shard-claim `fetch_add` and a full Monte-Carlo sweep alike.
+    pub const TIME_NS: &[u64] = &[
+        256,
+        1_024,
+        4_096,
+        16_384,
+        65_536,
+        262_144,
+        1_048_576,
+        4_194_304,
+        16_777_216,
+        67_108_864,
+        268_435_456,
+        1_073_741_824,
+        4_294_967_296,
+        17_179_869_184,
+    ];
+}
+
+/// Intern a [`Counter`] for this call site (lock-free after first use).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry::counter($name))
+    }};
+}
+
+/// Intern a [`Gauge`] for this call site (lock-free after first use).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Gauge> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry::gauge($name))
+    }};
+}
+
+/// Intern a [`Histogram`] with the given bucket bounds for this call site
+/// (lock-free after first use).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry::histogram($name, $bounds))
+    }};
+}
+
+/// Intern a [`Span`] timer for this call site (lock-free after first use).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static SITE: std::sync::OnceLock<&'static $crate::Span> = std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry::span($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_values_that_enable() {
+        assert!(env_is_on("1"));
+        assert!(env_is_on("true"));
+        assert!(env_is_on("on"));
+        assert!(!env_is_on("0"));
+        assert!(!env_is_on(""));
+        assert!(!env_is_on("yes"));
+    }
+
+    // Gate flipping itself is tested in `tests/gating.rs`, which owns its
+    // process: unit tests here run concurrently in one binary, and a
+    // momentary `force(false)` would race the registry tests' recording.
+}

@@ -1,0 +1,176 @@
+//! The JSON run-report sink (`PMORPH_OBS_JSON=<path>`).
+//!
+//! A [`RunReport`] accumulates labelled metric blocks — typically one
+//! [`Snapshot` delta](crate::registry::Snapshot::delta_since) per
+//! experiment or bench phase — and writes them to a JSON document on
+//! [`RunReport::flush`] (also called on drop). The document shape is
+//!
+//! ```json
+//! { "runs": [ { "label": "E18/§3", "metrics": { "sim.events": 123, ... } } ] }
+//! ```
+//!
+//! Writes **append**: if the target file already holds a run report, new
+//! blocks extend its `runs` array, so the repro runner and the bench
+//! suites can share one artifact across processes (`scripts/bench.sh`).
+//! The report goes to its own file and (a one-line summary) to stderr —
+//! never to stdout, which keeps the repro runner's standard output
+//! byte-identical with observability on and off.
+
+use crate::registry::Snapshot;
+use pmorph_util::json::{self, Value};
+
+/// Accumulates labelled metric blocks and writes them as JSON.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    path: Option<String>,
+    blocks: Vec<Value>,
+}
+
+impl RunReport {
+    /// A report bound to `PMORPH_OBS_JSON` (inactive when unset). An
+    /// active sink also resolves the metrics gate, so `PMORPH_OBS_JSON`
+    /// alone is enough to collect — see [`crate::enabled`].
+    pub fn from_env() -> RunReport {
+        let path = std::env::var("PMORPH_OBS_JSON").ok().filter(|p| !p.is_empty());
+        if path.is_some() {
+            crate::enabled(); // resolve the gate now (sink implies on)
+        }
+        RunReport { path, blocks: Vec::new() }
+    }
+
+    /// A report bound to an explicit path (always active).
+    pub fn to_path(path: impl Into<String>) -> RunReport {
+        RunReport { path: Some(path.into()), blocks: Vec::new() }
+    }
+
+    /// Will [`record`](Self::record) keep anything?
+    pub fn is_active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Blocks recorded so far.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// No blocks recorded yet?
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Append one labelled metrics block (no-op when inactive).
+    pub fn record(&mut self, label: &str, metrics: &Snapshot) {
+        if !self.is_active() {
+            return;
+        }
+        let mut block = Value::object();
+        block.set("label", Value::Str(label.to_string())).set("metrics", metrics.to_json());
+        self.blocks.push(block);
+    }
+
+    /// Append a pre-built JSON block under a label (no-op when inactive)
+    /// — for callers with non-registry payloads (e.g. bench summaries).
+    pub fn record_value(&mut self, label: &str, value: Value) {
+        if !self.is_active() {
+            return;
+        }
+        let mut block = Value::object();
+        block.set("label", Value::Str(label.to_string())).set("metrics", value);
+        self.blocks.push(block);
+    }
+
+    /// Write all recorded blocks, appending to an existing report at the
+    /// same path if one parses. Clears the pending blocks on success.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        let Some(path) = self.path.clone() else { return Ok(()) };
+        if self.blocks.is_empty() {
+            return Ok(());
+        }
+        let mut runs: Vec<Value> = match std::fs::read_to_string(&path) {
+            Ok(text) => match json::parse(&text) {
+                Ok(doc) => doc
+                    .get("runs")
+                    .and_then(Value::as_array)
+                    .map(|r| r.to_vec())
+                    .unwrap_or_default(),
+                Err(_) => Vec::new(), // unrecognizable file: start fresh
+            },
+            Err(_) => Vec::new(),
+        };
+        runs.append(&mut self.blocks);
+        let n = runs.len();
+        let mut doc = Value::object();
+        doc.set("runs", Value::Array(runs));
+        std::fs::write(&path, doc.to_string_pretty() + "\n")?;
+        eprintln!("obs: wrote {n} metric block(s) to {path}");
+        Ok(())
+    }
+}
+
+impl Drop for RunReport {
+    fn drop(&mut self) {
+        if let Err(e) = self.flush() {
+            eprintln!("obs: could not write run report: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter, snapshot};
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("pmorph_obs_{name}_{}.json", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn inactive_report_records_nothing() {
+        let mut r = RunReport::default();
+        assert!(!r.is_active());
+        r.record("x", &Snapshot::default());
+        assert!(r.is_empty());
+        r.flush().unwrap();
+    }
+
+    #[test]
+    fn flush_writes_and_append_extends() {
+        crate::force(true);
+        let path = tmp("append");
+        std::fs::remove_file(&path).ok();
+        counter("test.report.c").inc();
+        {
+            let mut r = RunReport::to_path(&path);
+            r.record("first", &snapshot());
+            r.flush().unwrap();
+        }
+        {
+            let mut r = RunReport::to_path(&path);
+            r.record_value("second", Value::object());
+            r.flush().unwrap();
+        }
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 2, "second flush must append, not overwrite");
+        assert_eq!(runs[0].get("label").unwrap().as_str(), Some("first"));
+        assert!(runs[0].get("metrics").unwrap().get("test.report.c").is_some());
+        assert_eq!(runs[1].get("label").unwrap().as_str(), Some("second"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_replaces_unparseable_files() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        let mut r = RunReport::to_path(&path);
+        r.record_value("only", Value::object());
+        r.flush().unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("runs").unwrap().as_array().unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

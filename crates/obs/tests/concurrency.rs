@@ -1,0 +1,106 @@
+//! Registry concurrency: relaxed-atomic recording from many threads must
+//! lose nothing. This file never forces the gate off, so its tests can run
+//! in parallel with each other.
+
+use pmorph_obs::registry::{counter, histogram, snapshot, MetricValue};
+use pmorph_obs::{counter as counter_site, span};
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 50_000;
+
+#[test]
+fn n_threads_incrementing_one_counter_yield_exact_totals() {
+    pmorph_obs::force(true);
+    let c = counter("conc.counter.exact");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD, "no increment may be lost");
+}
+
+#[test]
+fn concurrent_interning_of_the_same_name_returns_one_cell() {
+    pmorph_obs::force(true);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let c = counter("conc.counter.interned");
+                    c.add(3);
+                    c as *const _ as usize
+                })
+            })
+            .collect();
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all threads must share one cell");
+    });
+    assert_eq!(counter("conc.counter.interned").get(), THREADS as u64 * 3);
+}
+
+#[test]
+fn concurrent_histogram_observations_preserve_count_and_sum() {
+    pmorph_obs::force(true);
+    let h = histogram("conc.hist", &[8, 64, 512]);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..1_000u64 {
+                    h.observe((t as u64 * 1_000 + i) % 600);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS as u64 * 1_000);
+    let bucket_total: u64 = h.buckets().iter().map(|(_, n)| n).sum();
+    assert_eq!(bucket_total, h.count(), "every observation lands in exactly one bucket");
+    let expect_sum: u64 =
+        (0..THREADS as u64).map(|t| (0..1_000).map(|i| (t * 1_000 + i) % 600).sum::<u64>()).sum();
+    assert_eq!(h.sum(), expect_sum);
+}
+
+#[test]
+fn macro_sites_are_lock_free_after_first_use_and_share_the_registry() {
+    pmorph_obs::force(true);
+    // Two distinct call sites, one name: both intern to the same cell.
+    let a = counter_site!("conc.macro.shared");
+    let b = counter_site!("conc.macro.shared");
+    assert!(std::ptr::eq(a, b));
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..10_000 {
+                    counter_site!("conc.macro.shared").inc();
+                }
+            });
+        }
+    });
+    assert_eq!(a.get(), THREADS as u64 * 10_000);
+}
+
+#[test]
+fn span_totals_accumulate_across_threads() {
+    pmorph_obs::force(true);
+    let s = span!("conc.span");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    let _g = s.enter();
+                    std::hint::black_box(());
+                }
+            });
+        }
+    });
+    assert_eq!(s.count(), THREADS as u64 * 100);
+    let snap = snapshot();
+    match snap.get("conc.span") {
+        Some(MetricValue::Span { count, .. }) => assert_eq!(*count, THREADS as u64 * 100),
+        v => panic!("wrong snapshot kind: {v:?}"),
+    }
+}

@@ -1,0 +1,48 @@
+//! The enabled/disabled gate, tested in a process of its own: these tests
+//! flip the global gate off, which would race the recording assertions in
+//! the crate's unit-test binary.
+
+use pmorph_obs::registry::{counter, gauge, histogram, span};
+
+/// One test function drives every scenario sequentially — the gate is
+/// process-global, so parallel test threads must not interleave flips.
+#[test]
+fn disabled_layer_is_a_no_op_and_flips_take_effect_immediately() {
+    // Force-disabled: nothing records.
+    pmorph_obs::force(false);
+    assert!(!pmorph_obs::enabled());
+    let c = counter("gate.counter");
+    let g = gauge("gate.gauge");
+    let h = histogram("gate.hist", &[100]);
+    let s = span("gate.span");
+    c.add(10);
+    g.set(4.0);
+    g.set_max(9.0);
+    h.observe(5);
+    {
+        let _guard = s.enter();
+    }
+    s.record_ns(123);
+    assert_eq!(c.get(), 0, "disabled counter must not record");
+    assert_eq!(g.get(), 0.0, "disabled gauge must not record");
+    assert_eq!(h.count(), 0, "disabled histogram must not record");
+    assert_eq!(s.count(), 0, "disabled span must not record");
+
+    // Snapshots still work while disabled (all idle).
+    let snap = pmorph_obs::snapshot();
+    assert!(snap.get("gate.counter").is_some(), "registration is gate-independent");
+    assert!(snap.delta_since(&snap).entries.is_empty());
+
+    // Flip on: the same handles start recording.
+    pmorph_obs::force(true);
+    assert!(pmorph_obs::enabled());
+    c.add(10);
+    h.observe(5);
+    assert_eq!(c.get(), 10);
+    assert_eq!(h.count(), 1);
+
+    // Flip back off mid-life: recording stops again.
+    pmorph_obs::force(false);
+    c.add(10);
+    assert_eq!(c.get(), 10);
+}

@@ -29,7 +29,8 @@
 
 use crate::logic::Logic;
 use crate::netlist::{CompId, CompState, NetId, Netlist, MAX_OUTPUTS};
-use crate::queue::{Event, EventKey, EventQueue};
+use crate::queue::{Event, EventKey, EventQueue, QueueCounters};
+use std::time::Instant;
 
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -323,6 +324,7 @@ impl Simulator {
     /// state, pending events, counters). See [`SimSnapshot`].
     pub fn snapshot(&self) -> SimSnapshot {
         debug_assert!(self.dirty_nets.is_empty() && self.dirty_comps.is_empty());
+        pmorph_obs::counter!("sim.snapshots").inc();
         SimSnapshot {
             values: self.values.clone(),
             slots: self.slots.clone(),
@@ -337,6 +339,7 @@ impl Simulator {
     /// Rewind to a snapshot taken from this simulator. Every subsequent
     /// stimulus/run sequence replays bit-identically to the first time.
     pub fn restore(&mut self, snap: &SimSnapshot) {
+        pmorph_obs::counter!("sim.restores").inc();
         assert_eq!(snap.values.len(), self.values.len(), "snapshot from a different netlist");
         assert_eq!(snap.slots.len(), self.slots.len(), "snapshot from a different netlist");
         self.values.copy_from_slice(&snap.values);
@@ -366,6 +369,13 @@ impl Simulator {
     /// Advance until `deadline` (inclusive), or until the queue drains.
     /// `max_events` bounds runaway oscillation.
     pub fn run_until(&mut self, deadline: u64, max_events: u64) -> Result<(), SimError> {
+        let obs = self.obs_begin();
+        let out = self.run_until_inner(deadline, max_events);
+        self.obs_flush(obs);
+        out
+    }
+
+    fn run_until_inner(&mut self, deadline: u64, max_events: u64) -> Result<(), SimError> {
         let mut budget = max_events;
         while let Some(key) = self.queue.peek_key() {
             if key.time > deadline {
@@ -385,6 +395,13 @@ impl Simulator {
     /// Returns the settle time. Errors if `max_events` is exceeded —
     /// the signature oscillation detector for unstable async circuits.
     pub fn settle(&mut self, max_events: u64) -> Result<u64, SimError> {
+        let obs = self.obs_begin();
+        let out = self.settle_inner(max_events);
+        self.obs_flush(obs);
+        out
+    }
+
+    fn settle_inner(&mut self, max_events: u64) -> Result<u64, SimError> {
         let mut budget = max_events;
         while !self.queue.is_empty() {
             if budget == 0 {
@@ -394,6 +411,49 @@ impl Simulator {
             budget = budget.saturating_sub(spent);
         }
         Ok(self.time)
+    }
+
+    /// Capture the pre-run counter baseline for [`Self::obs_flush`].
+    /// `None` (the common disabled case) costs one relaxed atomic load and
+    /// skips the clock read entirely.
+    #[inline]
+    fn obs_begin(&self) -> Option<(SimStats, QueueCounters, Instant)> {
+        if !pmorph_obs::enabled() {
+            return None;
+        }
+        Some((self.stats, self.queue.counters(), Instant::now()))
+    }
+
+    /// Export the deltas accumulated during one advancing call (`run_until`
+    /// or `settle`) to the observability registry. Write-only side channel:
+    /// nothing here feeds back into simulation state, so traces stay
+    /// byte-identical with the layer on or off. Run boundaries (rather than
+    /// per-event atomics) keep the hot loop allocation-free and untouched.
+    fn obs_flush(&mut self, before: Option<(SimStats, QueueCounters, Instant)>) {
+        let Some((s0, q0, t0)) = before else { return };
+        let (s1, q1) = (self.stats, self.queue.counters());
+        // `restore` inside the window can rewind lifetime stats; saturate
+        // rather than wrap so monotonic exports stay monotonic.
+        let d = u64::saturating_sub;
+        let events = d(s1.events, s0.events);
+        pmorph_obs::counter!("sim.events").add(events);
+        pmorph_obs::counter!("sim.evals").add(d(s1.evals, s0.evals));
+        pmorph_obs::counter!("sim.net_toggles").add(d(s1.net_toggles, s0.net_toggles));
+        pmorph_obs::counter!("sim.resolve_fast_hits")
+            .add(d(s1.resolve_fast_hits, s0.resolve_fast_hits));
+        pmorph_obs::counter!("sim.wheel_events").add(d(s1.wheel_events, s0.wheel_events));
+        pmorph_obs::counter!("sim.overflow_events").add(d(s1.overflow_events, s0.overflow_events));
+        pmorph_obs::gauge!("sim.max_queue").set_max(s1.max_queue as f64);
+        pmorph_obs::counter!("sim.queue.scans").add(d(q1.scans, q0.scans));
+        pmorph_obs::counter!("sim.queue.scan_steps").add(d(q1.scan_steps, q0.scan_steps));
+        pmorph_obs::counter!("sim.queue.refill_events").add(d(q1.refill_events, q0.refill_events));
+        pmorph_obs::counter!("sim.queue.past_clamps").add(d(q1.past_clamps, q0.past_clamps));
+        let ns = t0.elapsed().as_nanos() as u64;
+        pmorph_obs::span!("sim.run").record_ns(ns);
+        pmorph_obs::histogram!("sim.run_ns", pmorph_obs::bounds::TIME_NS).observe(ns);
+        if ns > 0 && events > 0 {
+            pmorph_obs::gauge!("sim.events_per_sec").set(events as f64 * 1.0e9 / ns as f64);
+        }
     }
 
     /// Apply every event sharing the earliest timestamp, then re-evaluate

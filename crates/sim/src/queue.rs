@@ -91,6 +91,31 @@ pub(crate) struct EventQueue {
     /// it *is* the first occupied bucket — maintained on push (circular
     /// min) and invalidated when its bucket drains (recomputed lazily).
     min_bucket: Cell<usize>,
+    /// Diagnostic counters (see [`QueueCounters`]). Lifetime-of-queue
+    /// monotonic: [`EventQueue::reset`] deliberately does not clear them,
+    /// so snapshot-restore sweeps keep a meaningful running total.
+    scans: Cell<u64>,
+    scan_steps: Cell<u64>,
+    refill_events: u64,
+    past_clamps: u64,
+}
+
+/// Scheduler diagnostics, exported to the observability layer by the
+/// engine at run boundaries. Write-only side data: nothing here feeds
+/// back into event ordering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct QueueCounters {
+    /// Occupancy-bitmap scans performed (min-bucket cache misses).
+    pub scans: u64,
+    /// Total bitmap words examined across those scans — `steps / scans`
+    /// is the mean bucket-scan distance.
+    pub scan_steps: u64,
+    /// Events moved from the overflow heap into wheel buckets.
+    pub refill_events: u64,
+    /// Past-time pushes clamped to the window base (always a caller bug;
+    /// a `debug_assert!` catches it in debug builds, release builds clamp
+    /// and count instead of corrupting event order).
+    pub past_clamps: u64,
 }
 
 const UNKNOWN: usize = usize::MAX;
@@ -105,6 +130,20 @@ impl EventQueue {
             cursor: 0,
             len: 0,
             min_bucket: Cell::new(UNKNOWN),
+            scans: Cell::new(0),
+            scan_steps: Cell::new(0),
+            refill_events: 0,
+            past_clamps: 0,
+        }
+    }
+
+    /// Current diagnostic counter values.
+    pub fn counters(&self) -> QueueCounters {
+        QueueCounters {
+            scans: self.scans.get(),
+            scan_steps: self.scan_steps.get(),
+            refill_events: self.refill_events,
+            past_clamps: self.past_clamps,
         }
     }
 
@@ -136,10 +175,24 @@ impl EventQueue {
 
     /// Enqueue. Returns `true` if the event landed in the overflow heap
     /// (i.e. beyond the wheel window) — the engine tracks the split.
-    pub fn push(&mut self, ev: Event) -> bool {
+    ///
+    /// Scheduling in the past is a caller bug: debug builds assert, and
+    /// release builds clamp the event to the window base (preserving the
+    /// total `(time, seq)` order for everything still pending — a stale
+    /// `time & MASK` bucket would silently corrupt delivery order) and
+    /// count the clamp in [`QueueCounters::past_clamps`].
+    pub fn push(&mut self, mut ev: Event) -> bool {
         debug_assert!(ev.key.time >= self.base, "scheduled in the past");
+        if ev.key.time < self.base {
+            ev.key.time = self.base;
+            self.past_clamps += 1;
+        }
         self.len += 1;
-        if ev.key.time < self.base + WHEEL_SLOTS as u64 {
+        // Window test on the offset, not `base + WHEEL_SLOTS`: the sum
+        // wraps when `base` is within the wheel width of `u64::MAX`,
+        // which would misroute far-future events and livelock `pop`
+        // (refill's wrapped limit would never admit the overflow min).
+        if ev.key.time - self.base < WHEEL_SLOTS as u64 {
             let idx = (ev.key.time & WHEEL_MASK) as usize;
             self.buckets[idx].push(ev);
             self.occupancy[idx / 64] |= 1 << (idx % 64);
@@ -204,9 +257,10 @@ impl EventQueue {
     /// wide, so each target bucket receives a single timestamp in ascending
     /// sequence order.
     fn refill(&mut self) {
-        let limit = self.base + WHEEL_SLOTS as u64;
         while let Some(Reverse(ev)) = self.overflow.peek() {
-            if ev.key.time >= limit {
+            // Offset comparison for the same wrap-safety reason as
+            // `push`: every overflow event satisfies `time >= base`.
+            if ev.key.time - self.base >= WHEEL_SLOTS as u64 {
                 break;
             }
             let Reverse(ev) = self.overflow.pop().expect("peeked");
@@ -214,6 +268,7 @@ impl EventQueue {
             self.buckets[idx].push(ev);
             self.occupancy[idx / 64] |= 1 << (idx % 64);
             self.note_insert(idx);
+            self.refill_events += 1;
         }
     }
 
@@ -236,9 +291,11 @@ impl EventQueue {
     /// Bitmap scan behind [`Self::first_occupied`] — at most [`WORDS`] + 1
     /// word loads (the wheel is small enough that no summary level pays).
     fn scan_occupied(&self) -> Option<usize> {
+        self.scans.set(self.scans.get() + 1);
         let start = (self.base & WHEEL_MASK) as usize;
         let (sw, sb) = (start / 64, start % 64);
         let w = self.occupancy[sw] & (!0u64 << sb);
+        self.scan_steps.set(self.scan_steps.get() + 1);
         if w != 0 {
             return Some(sw * 64 + w.trailing_zeros() as usize);
         }
@@ -248,6 +305,7 @@ impl EventQueue {
             if wi == sw {
                 w &= (1u64 << sb) - 1; // wrapped: only bits below the start
             }
+            self.scan_steps.set(self.scan_steps.get() + 1);
             if w != 0 {
                 return Some(wi * 64 + w.trailing_zeros() as usize);
             }
@@ -376,5 +434,77 @@ mod tests {
         assert!(q.is_empty());
         q.push(ev(100, 2));
         assert_eq!(q.pop().unwrap().key.seq, 2);
+    }
+
+    /// Regression: with `base` within one wheel width of `u64::MAX`, the
+    /// old `base + WHEEL_SLOTS` window limit wrapped to a tiny value, so
+    /// near-future pushes misrouted to overflow and `pop` livelocked
+    /// (refill's wrapped limit never admitted the overflow minimum).
+    #[test]
+    fn window_near_u64_max_does_not_wrap() {
+        let base = u64::MAX - 10;
+        let mut q = EventQueue::new(base);
+        q.push(ev(u64::MAX - 1, 0)); // inside the window, must hit the wheel
+        q.push(ev(base, 1));
+        q.push(ev(u64::MAX, 2));
+        assert_eq!(q.pop().unwrap().key, EventKey { time: base, seq: 1 });
+        assert_eq!(q.pop().unwrap().key, EventKey { time: u64::MAX - 1, seq: 0 });
+        assert_eq!(q.pop().unwrap().key, EventKey { time: u64::MAX, seq: 2 });
+        assert!(q.pop().is_none());
+        // None of the in-window pushes may have spilled to overflow.
+        assert_eq!(q.counters().refill_events, 0);
+    }
+
+    /// Same wrap hazard on the refill path: events parked in overflow
+    /// while the window was far away must still migrate into the wheel
+    /// once `base` jumps close to `u64::MAX`.
+    #[test]
+    fn refill_near_u64_max_admits_overflow_events() {
+        let start = u64::MAX - 5000;
+        let mut q = EventQueue::new(start);
+        q.push(ev(u64::MAX - 3, 0)); // far future: overflow
+        q.push(ev(start, 1));
+        assert_eq!(q.pop().unwrap().key.seq, 1);
+        // Wheel now empty; pop must jump the window to the overflow min
+        // and drain it rather than spinning.
+        assert_eq!(q.pop().unwrap().key, EventKey { time: u64::MAX - 3, seq: 0 });
+        assert!(q.is_empty());
+        assert_eq!(q.counters().refill_events, 1);
+    }
+
+    /// Release semantics for a past-time push: clamp to the window base
+    /// and count it, never corrupt delivery order. (Debug builds assert
+    /// instead — see the companion test below.)
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn past_push_clamps_to_base_and_is_counted() {
+        let mut q = EventQueue::new(100);
+        q.push(ev(100, 0));
+        q.push(ev(40, 1)); // caller bug: in the past
+        assert_eq!(q.counters().past_clamps, 1);
+        // Delivered at the clamped time, ordered by seq within it.
+        assert_eq!(q.pop().unwrap().key, EventKey { time: 100, seq: 0 });
+        assert_eq!(q.pop().unwrap().key, EventKey { time: 100, seq: 1 });
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_push_panics_in_debug() {
+        let mut q = EventQueue::new(100);
+        q.push(ev(40, 0));
+    }
+
+    #[test]
+    fn counters_survive_reset_and_track_scans() {
+        let mut q = EventQueue::new(0);
+        q.push(ev(1, 0));
+        while q.pop().is_some() {}
+        let before = q.counters();
+        assert!(before.scans > 0, "draining must have scanned the bitmap");
+        assert!(before.scan_steps >= before.scans);
+        q.reset(0);
+        assert_eq!(q.counters(), before, "reset must not clear diagnostics");
     }
 }

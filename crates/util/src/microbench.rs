@@ -100,19 +100,18 @@ impl Bencher {
 
     /// Median per-iteration time across timed batches — the headline
     /// number for the JSON baselines (robust against warm-up outliers
-    /// and scheduler noise in a way the mean is not).
-    fn median_ns(&self) -> f64 {
+    /// and scheduler noise in a way the mean is not). `None` when the
+    /// bench never produced a sample (e.g. `iter` was never called):
+    /// explicit at the type level, because a NaN here used to serialize
+    /// as `null` in the JSON artifact and break `benchcheck`.
+    fn median_ns(&self) -> Option<f64> {
         if self.samples.is_empty() {
-            return f64::NAN;
+            return None;
         }
         let mut s = self.samples.clone();
         s.sort_unstable();
         let mid = s.len() / 2;
-        if s.len() % 2 == 1 {
-            s[mid] as f64
-        } else {
-            (s[mid - 1] + s[mid]) as f64 / 2.0
-        }
+        Some(if s.len() % 2 == 1 { s[mid] as f64 } else { (s[mid - 1] + s[mid]) as f64 / 2.0 })
     }
 }
 
@@ -139,6 +138,10 @@ pub struct Criterion {
     checks: Vec<(String, bool)>,
     /// Output path for the JSON artifact, if requested.
     json_path: Option<String>,
+    /// Median of the most recently reported bench (`None` if it produced
+    /// no samples) — lets a bench file compare two of its own runs, e.g.
+    /// the observability on/off overhead check.
+    last_median_ns: Option<f64>,
 }
 
 impl Default for Criterion {
@@ -152,14 +155,24 @@ impl Default for Criterion {
             records: Vec::new(),
             checks: Vec::new(),
             json_path: std::env::var("PMORPH_BENCH_JSON").ok().filter(|p| !p.is_empty()),
+            last_median_ns: None,
         }
     }
 }
 
 impl Criterion {
     fn report(&mut self, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+        let Some(median) = b.median_ns() else {
+            // No samples (the closure never called `iter`, or the budget
+            // was zero): skip the record entirely. Recording it would put
+            // `median_ns: null` in the artifact, which `benchcheck`
+            // rejects — absent is honest, null is corrupt.
+            self.last_median_ns = None;
+            println!("{name:<52} (no samples — skipped, not recorded)");
+            return;
+        };
+        self.last_median_ns = Some(median);
         let mean = b.mean_ns();
-        let median = b.median_ns();
         let mut line = format!(
             "{name:<52} {} /iter  (median {}, min {}, {} iters)",
             fmt_ns(mean),
@@ -188,6 +201,13 @@ impl Criterion {
         }
         self.records.push(rec);
         println!("{line}");
+    }
+
+    /// Median of the most recently reported benchmark, if it produced
+    /// samples. Lets a bench file ratio two of its own measurements
+    /// without re-parsing the JSON artifact.
+    pub fn last_median_ns(&self) -> Option<f64> {
+        self.last_median_ns
     }
 
     /// Record a named pass/fail assertion into the JSON artifact (e.g. the
@@ -320,6 +340,7 @@ mod tests {
             records: Vec::new(),
             checks: Vec::new(),
             json_path: None,
+            last_median_ns: None,
         }
     }
 
@@ -331,16 +352,30 @@ mod tests {
         assert!(b.total_ns > 0);
         assert!(b.mean_ns() > 0.0);
         assert!(!b.samples.is_empty());
-        assert!(b.median_ns() > 0.0);
+        assert!(b.median_ns().unwrap() > 0.0);
     }
 
     #[test]
     fn median_is_order_statistic_not_mean() {
         let mut b = Bencher::new(Duration::from_millis(1));
         b.samples = vec![10, 10, 10, 10, 1000];
-        assert_eq!(b.median_ns(), 10.0, "one outlier must not move the median");
+        assert_eq!(b.median_ns(), Some(10.0), "one outlier must not move the median");
         b.samples = vec![4, 8];
-        assert_eq!(b.median_ns(), 6.0);
+        assert_eq!(b.median_ns(), Some(6.0));
+        b.samples.clear();
+        assert_eq!(b.median_ns(), None, "empty samples are explicit, not NaN");
+    }
+
+    #[test]
+    fn sampleless_bench_is_skipped_not_recorded_as_null() {
+        let mut c = quiet_criterion(1);
+        // The closure never calls `iter`, so the bench has no samples.
+        c.bench_function("unit/empty", |_b| {});
+        assert_eq!(c.last_median_ns(), None);
+        assert!(c.records.is_empty(), "a sampleless bench must not reach the artifact");
+        c.bench_function("unit/real", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        assert!(c.last_median_ns().unwrap() > 0.0);
+        assert_eq!(c.records.len(), 1, "only the sampled bench is recorded");
     }
 
     #[test]

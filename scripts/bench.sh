@@ -15,23 +15,50 @@
 #
 #   ./scripts/bench.sh                 # default 300 ms/bench
 #   PMORPH_BENCH_MS=1000 ./scripts/bench.sh
+#
+# Observability overhead gate: the kernel suite runs with PMORPH_OBS
+# *unset* (the disabled path), and the fresh artifact is compared against
+# the previously tracked BENCH_kernel.json with `benchcheck --baseline` —
+# a disabled-path median drifting more than PMORPH_OBS_REGRESS_PCT
+# (default 10%) fails the script before the baseline is overwritten. The
+# kernel suite itself additionally records the in-process enabled/disabled
+# ratio check (kernel/obs_overhead), which benchcheck then enforces.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
+# The bench suites measure the *disabled* observability path; force the
+# gate off even if the caller's shell has it exported.
+unset PMORPH_OBS PMORPH_OBS_JSON
 # Absolute paths: cargo runs the bench binaries from the crate directory,
 # so relative sink paths would land in crates/bench/ instead of the root.
 KERNEL_OUT="$(pwd)/${PMORPH_BENCH_JSON:-BENCH_kernel.json}"
 SWEEPS_OUT="$(pwd)/${PMORPH_SWEEPS_JSON:-BENCH_sweeps.json}"
+OBS_REGRESS_PCT="${PMORPH_OBS_REGRESS_PCT:-10}"
 
-echo "== kernel bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench) =="
+# Stash the tracked kernel baseline before the sink overwrites it, so the
+# fresh run can be gated against it.
+KERNEL_PREV=""
+if [ -f "$KERNEL_OUT" ]; then
+    KERNEL_PREV="$(mktemp)"
+    cp "$KERNEL_OUT" "$KERNEL_PREV"
+fi
+
+echo "== kernel bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench, obs disabled) =="
 PMORPH_BENCH_JSON="$KERNEL_OUT" cargo bench -q -p pmorph-bench --bench kernel
 
 echo "== sweeps bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench) =="
 PMORPH_BENCH_JSON="$SWEEPS_OUT" cargo bench -q -p pmorph-bench --bench sweeps
 
 echo "== validate $KERNEL_OUT =="
-cargo run -q -p pmorph-bench --bin benchcheck -- "$KERNEL_OUT"
+if [ -n "$KERNEL_PREV" ]; then
+    echo "   (obs-overhead gate: disabled-path medians within ${OBS_REGRESS_PCT}% of previous baseline)"
+    cargo run -q -p pmorph-bench --bin benchcheck -- "$KERNEL_OUT" \
+        --baseline "$KERNEL_PREV" --max-regress-pct "$OBS_REGRESS_PCT"
+    rm -f "$KERNEL_PREV"
+else
+    cargo run -q -p pmorph-bench --bin benchcheck -- "$KERNEL_OUT"
+fi
 
 echo "== validate $SWEEPS_OUT =="
 cargo run -q -p pmorph-bench --bin benchcheck -- "$SWEEPS_OUT" \

@@ -22,6 +22,19 @@ cargo test --workspace -q
 echo "== reproduction experiments (E1-E23, release) =="
 cargo run --release -q -p pmorph-bench --bin repro -- >/dev/null
 
+echo "== release-mode sim semantics (past-event clamp path) =="
+# The queue's past-event handling differs by build profile (debug
+# asserts, release clamps + counts); the debug leg already ran in the
+# workspace test pass above, this runs the release leg.
+cargo test --release -q -p pmorph-sim
+
+echo "== observability differential suite =="
+# Repro stdout must be byte-identical with PMORPH_OBS unset vs =1 at 1
+# and 8 threads, and the PMORPH_OBS_JSON sink must emit a parseable
+# metrics block per experiment. Also covers the benchcheck CLI hardening
+# (null-median rejection, --baseline regression gate).
+cargo test -q -p pmorph-bench --test obs_differential --test benchcheck_cli
+
 echo "== kernel bench smoke (short budget) =="
 # A fast pass over the kernel suite: exercises every tracked workload,
 # the allocation-free steady-state check, and benchcheck's validation of
