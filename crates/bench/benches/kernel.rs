@@ -186,6 +186,87 @@ fn kernel_levelized_vs_event(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracked workload 4: the 64-lane bit-parallel exhaustive sweep against
+/// the scalar levelized path on the same 10-input XOR tree (1024
+/// vectors). Both groups report vectors/second; the speedup floor (≥ 10×,
+/// typically 30–60×) and the partial-final-word lane masking are recorded
+/// as pass/fail checks so `benchcheck` gates them alongside the medians.
+fn kernel_bitsim(c: &mut Criterion) {
+    use pmorph_exec::SweepConfig;
+    use pmorph_sim::bitsim::{sweep_truth, BitSim};
+    use pmorph_sim::table::WideMask;
+    use pmorph_sim::vectors::exhaustive_truth_levelized;
+    // the same 10-input, ~60-gate XOR tree as kernel/exhaustive_1024_vectors
+    let mut b = NetlistBuilder::new();
+    let inputs: Vec<NetId> = (0..10).map(|i| b.net(format!("i{i}"))).collect();
+    let mut level = inputs.clone();
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.xor(&[pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let out = level[0];
+    let nl = b.build();
+    let proto = BitSim::new(nl.clone()).unwrap();
+    let cfg = SweepConfig::new().with_workers(1); // single-lane kernel cost, no pool skew
+    let expect = WideMask::from_fn(10, |m| m.count_ones() % 2 == 1);
+
+    let mut group = c.benchmark_group("bitsim/exhaustive_10in_1024_vectors");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("bitsim_64lane", |bch| {
+        bch.iter(|| black_box(sweep_truth(&proto, &inputs, &[out], &cfg)))
+    });
+    group.finish();
+    let bitsim_ns = c.last_median_ns();
+
+    let mut group = c.benchmark_group("bitsim/scalar_levelized_10in_1024_vectors");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("scalar_levelized", |bch| {
+        bch.iter(|| black_box(exhaustive_truth_levelized(&nl, &inputs, &[out]).unwrap()))
+    });
+    group.finish();
+    let scalar_ns = c.last_median_ns();
+
+    // the speedup claim is only worth tracking if both paths are correct
+    let wide = sweep_truth(&proto, &inputs, &[out], &cfg);
+    let ok = c.record_check("bitsim_mask_matches_scalar_oracle", wide == vec![Some(expect)]);
+    assert!(ok, "bit-parallel mask diverged from the scalar oracle");
+
+    // partial final word: n = 4 has 16 live lanes in one word — lanes
+    // beyond 2^n must come back masked to zero
+    let mut b4 = NetlistBuilder::new();
+    let ins4: Vec<NetId> = (0..4).map(|i| b4.net(format!("p{i}"))).collect();
+    let maj = {
+        let ab = b4.and(&[ins4[0], ins4[1]]);
+        let cd = b4.and(&[ins4[2], ins4[3]]);
+        b4.or(&[ab, cd])
+    };
+    let nl4 = b4.build();
+    let proto4 = BitSim::new(nl4.clone()).unwrap();
+    let wide4 = sweep_truth(&proto4, &ins4, &[maj], &cfg);
+    let scalar4 = exhaustive_truth_levelized(&nl4, &ins4, &[maj]).unwrap();
+    let lanes_ok = match &wide4[0] {
+        Some(m) => m.words()[0] & !WideMask::lane_mask(4) == 0 && wide4 == scalar4,
+        None => false,
+    };
+    let ok = c.record_check("bitsim_partial_word_lanes_masked", lanes_ok);
+    assert!(ok, "lanes beyond 2^n leaked into the mask");
+
+    let (Some(fast), Some(slow)) = (bitsim_ns, scalar_ns) else {
+        panic!("bitsim benches produced no samples");
+    };
+    let speedup = slow / fast;
+    println!("bitsim: {speedup:.1}x over scalar levelized (1024 vectors)");
+    let ok = c.record_check("bitsim_speedup_ge_10x_over_scalar_levelized", speedup >= 10.0);
+    assert!(ok, "bit-parallel speedup {speedup:.1}x below the 10x floor");
+}
+
 /// Tracked workload 1: a 16×16 checkerboard-rotated array (256 blocks,
 /// Fig. 8 stitching) elaborated once, then repeatedly re-stimulated from
 /// its west/north perimeter. One simulator is reused across vectors via
@@ -448,6 +529,7 @@ criterion_group!(
     kernel_elaboration,
     kernel_bitstream,
     kernel_levelized_vs_event,
+    kernel_bitsim,
     kernel_fabric_rotated_array,
     kernel_datapath_ripple16,
     kernel_micropipeline_deep,

@@ -8,6 +8,7 @@
 //! the §2.2 utilisation study (how much of each CLB a real mapping leaves
 //! idle).
 
+use pmorph_sim::table::WideMask;
 use pmorph_sim::{Component, Logic, NetId, Netlist};
 use std::collections::HashMap;
 
@@ -18,8 +19,10 @@ pub struct Lut {
     pub inputs: Vec<NetId>,
     /// Net this LUT drives.
     pub output: NetId,
-    /// Truth table over the inputs.
-    pub truth: u64,
+    /// Truth table over the inputs. Multi-word: a cut wider than 6 leaves
+    /// (a single gate can have more inputs than K) no longer overflows
+    /// the old `1 << m` single-u64 extraction.
+    pub truth: WideMask,
 }
 
 /// A mapped flip-flop.
@@ -194,13 +197,22 @@ impl<'a> Mapper<'a> {
         }
         self.visiting[net.0 as usize] = true;
         let cut = self.grow_cut(net);
-        // extract truth table
-        let mut truth = 0u64;
+        // extract truth table — a gate with more inputs than K leaves the
+        // cut wider than K, so the table is multi-word, not a bare u64
+        // (the old `truth |= 1 << m` panicked in debug at 7 leaves and
+        // silently wrapped in release)
+        assert!(
+            cut.len() <= WideMask::MAX_VARS,
+            "cut of {} leaves exceeds the {}-variable table ceiling",
+            cut.len(),
+            WideMask::MAX_VARS
+        );
+        let mut truth = WideMask::zero(cut.len());
         for m in 0..(1u64 << cut.len()) {
             let leaves: HashMap<NetId, bool> =
                 cut.iter().enumerate().map(|(i, &n)| (n, m >> i & 1 == 1)).collect();
             if self.eval_cone(net, &leaves) {
-                truth |= 1 << m;
+                truth.set(m, true);
             }
         }
         self.design.luts.push(Lut { inputs: cut.clone(), output: net, truth });
@@ -315,7 +327,7 @@ pub fn verify_mapping(netlist: &Netlist, design: &MappedDesign, seed: u64, vecto
                     idx |= 1 << i;
                 }
             }
-            let v = lut.truth >> idx & 1 == 1;
+            let v = lut.truth.get(idx);
             memo.insert(net, v);
             v
         }
@@ -407,6 +419,43 @@ mod tests {
         let d = tech_map(&nl, &[z], 4).unwrap();
         let stats = pack(&d);
         assert!(stats.wasted_fraction() > 0.5, "{}", stats.wasted_fraction());
+    }
+
+    #[test]
+    fn six_input_gate_fills_exactly_one_word() {
+        // 6 leaves = the full-u64 boundary: the lane mask must be MAX,
+        // not the old (1 << 64) - 1 overflow.
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<NetId> = (0..6).map(|i| b.net(format!("i{i}"))).collect();
+        let z = b.and(&ins);
+        let nl = b.build();
+        let d = tech_map(&nl, &[z], 6).unwrap();
+        assert_eq!(d.luts.len(), 1);
+        let t = &d.luts[0].truth;
+        assert_eq!(t.vars(), 6);
+        assert_eq!(t.words().len(), 1);
+        assert_eq!(t.count_ones(), 1, "AND: one minterm");
+        assert!(t.get(63));
+        assert!(verify_mapping(&nl, &d, 7, 32));
+    }
+
+    #[test]
+    fn seven_input_gate_cut_spans_two_words() {
+        // A single gate wider than K: the cut cannot shrink below 7
+        // leaves, so extraction must produce a two-word table. The old
+        // u64 path panicked in debug (`1 << m` at m ≥ 64) here.
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<NetId> = (0..7).map(|i| b.net(format!("i{i}"))).collect();
+        let z = b.nand(&ins);
+        let nl = b.build();
+        let d = tech_map(&nl, &[z], 6).unwrap();
+        assert_eq!(d.luts.len(), 1);
+        let t = &d.luts[0].truth;
+        assert_eq!(t.vars(), 7);
+        assert_eq!(t.words().len(), 2);
+        assert_eq!(t.count_ones(), 127, "NAND: all but the last minterm");
+        assert!(!t.get(127) && t.get(126));
+        assert!(verify_mapping(&nl, &d, 9, 64));
     }
 
     #[test]

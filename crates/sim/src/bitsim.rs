@@ -1,0 +1,307 @@
+//! 64-lane bit-parallel levelized evaluation.
+//!
+//! The scalar levelized evaluator (`crate::levelized`) walks one input
+//! assignment at a time; exhaustive characterization of an `n`-input
+//! circuit pays `2^n` full passes. This module is the batched-SIMD shape
+//! of the same computation: 64 assignments are packed into one machine
+//! word, four-valued [`Logic`] is encoded as **two bit planes** per net —
+//!
+//! * `val`   — bit `l` is the lane-`l` value (meaningful only when known),
+//! * `known` — bit `l` set iff lane `l` is a definite `0`/`1`
+//!   (`X` and `Z` both clear it — gate inputs treat them identically),
+//!
+//! and every levelized component is evaluated **once per word** with pure
+//! bitwise ops (Kleene strong logic on the planes). Unknown lanes keep
+//! `val = 0`, so planes are canonical and word-compare directly.
+//!
+//! [`sweep_truth`] drives the kernel through the sharded exec engine with
+//! **whole words as shard items**: each item's planes depend only on the
+//! word index (determinism contract rule 1), so masks are bit-identical
+//! at any worker count or shard geometry. The event-driven
+//! `vectors::characterize` path and the scalar references stay as
+//! differential oracles (`tests/bitsim_differential.rs`).
+
+use crate::levelized::{LevelizeError, Levelized};
+use crate::netlist::{Component, NetId, Netlist};
+use crate::table::WideMask;
+use pmorph_exec::{sweep, ShardCtx, SweepConfig};
+
+/// A compiled bit-parallel evaluator: the levelized component order plus
+/// one `(val, known)` plane pair per net. Cloning is cheap relative to
+/// levelization and is how the sharded sweep builds per-worker instances.
+#[derive(Clone, Debug)]
+pub struct BitSim {
+    netlist: Netlist,
+    /// Component indices in topological order.
+    order: Vec<u32>,
+    /// Output net of each ordered component.
+    out_net: Vec<u32>,
+    /// Value plane per net (lane `l` = assignment `base + l`).
+    val: Vec<u64>,
+    /// Known plane per net (`0` ⇒ `X`/`Z` in that lane).
+    known: Vec<u64>,
+}
+
+impl BitSim {
+    /// Compile a pure-combinational netlist. Accepts exactly the netlists
+    /// [`Levelized`] accepts (gates, buffers, constants; single-driver,
+    /// acyclic).
+    pub fn new(netlist: Netlist) -> Result<Self, LevelizeError> {
+        let lev = Levelized::new(netlist)?;
+        let nets = lev.netlist.net_count();
+        Ok(BitSim {
+            netlist: lev.netlist,
+            order: lev.order,
+            out_net: lev.out_net,
+            val: vec![0; nets],
+            known: vec![0; nets],
+        })
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Evaluate one 64-assignment word: lane `l` carries input assignment
+    /// `64·word + l`, with input `i`'s plane taken from
+    /// [`WideMask::var_plane`]. Nets not listed in `inputs` start unknown,
+    /// exactly like the scalar evaluator's `X` fill.
+    pub fn eval_word(&mut self, inputs: &[NetId], word: usize) {
+        self.val.fill(0);
+        self.known.fill(0);
+        for (i, &inp) in inputs.iter().enumerate() {
+            self.val[inp.0 as usize] = WideMask::var_plane(i, word);
+            self.known[inp.0 as usize] = u64::MAX;
+        }
+        for (k, &c) in self.order.iter().enumerate() {
+            let (v, kn) = eval_comp_word(&self.netlist.comps[c as usize], &self.val, &self.known);
+            let o = self.out_net[k] as usize;
+            self.val[o] = v;
+            self.known[o] = kn;
+        }
+    }
+
+    /// The `(val, known)` planes of a net after [`BitSim::eval_word`].
+    pub fn plane(&self, net: NetId) -> (u64, u64) {
+        (self.val[net.0 as usize], self.known[net.0 as usize])
+    }
+}
+
+/// Kleene strong-logic evaluation of one combinational component over two
+/// bit planes. Matches [`crate::logic::Logic`]'s scalar tables lane for
+/// lane: `0` dominates AND, `1` dominates OR, XOR is unknown unless every
+/// input is definite.
+#[inline]
+fn eval_comp_word(comp: &Component, val: &[u64], known: &[u64]) -> (u64, u64) {
+    #[inline]
+    fn rd(val: &[u64], known: &[u64], n: NetId) -> (u64, u64) {
+        (val[n.0 as usize], known[n.0 as usize])
+    }
+    // AND-family accumulator: `all1` lanes where every input so far is a
+    // definite 1, `any0` lanes where some input is a definite 0.
+    #[inline]
+    fn and_planes(inputs: &[NetId], val: &[u64], known: &[u64]) -> (u64, u64) {
+        let (mut all1, mut any0) = (u64::MAX, 0u64);
+        for &n in inputs {
+            let (v, k) = rd(val, known, n);
+            all1 &= v & k;
+            any0 |= !v & k;
+        }
+        (all1, any0)
+    }
+    // OR-family dual: `any1` / `all0`.
+    #[inline]
+    fn or_planes(inputs: &[NetId], val: &[u64], known: &[u64]) -> (u64, u64) {
+        let (mut any1, mut all0) = (0u64, u64::MAX);
+        for &n in inputs {
+            let (v, k) = rd(val, known, n);
+            any1 |= v & k;
+            all0 &= !v & k;
+        }
+        (any1, all0)
+    }
+    match comp {
+        Component::And { inputs, .. } => {
+            let (all1, any0) = and_planes(inputs, val, known);
+            (all1, all1 | any0)
+        }
+        Component::Nand { inputs, .. } => {
+            let (all1, any0) = and_planes(inputs, val, known);
+            (any0, all1 | any0)
+        }
+        Component::Or { inputs, .. } => {
+            let (any1, all0) = or_planes(inputs, val, known);
+            (any1, any1 | all0)
+        }
+        Component::Nor { inputs, .. } => {
+            let (any1, all0) = or_planes(inputs, val, known);
+            (all0, any1 | all0)
+        }
+        Component::Xor { inputs, .. } => {
+            let (mut v, mut k) = (0u64, u64::MAX);
+            for &n in inputs {
+                let (vi, ki) = rd(val, known, n);
+                v ^= vi;
+                k &= ki;
+            }
+            (v & k, k)
+        }
+        Component::Inv { input, .. } => {
+            let (v, k) = rd(val, known, *input);
+            (!v & k, k)
+        }
+        Component::Buf { input, .. } => rd(val, known, *input),
+        Component::Const { value, .. } => match value.to_bool() {
+            Some(true) => (u64::MAX, u64::MAX),
+            Some(false) => (0, u64::MAX),
+            None => (0, 0), // Const X/Z: unknown in every lane
+        },
+        _ => unreachable!("levelization admits only combinational components"),
+    }
+}
+
+struct WordCtx {
+    sim: BitSim,
+}
+
+impl ShardCtx for WordCtx {}
+
+/// Exhaustively characterize `outputs` over all `2^n` assignments of
+/// `inputs` with the bit-parallel kernel, sharded across the exec engine
+/// **one word (64 assignments) per item**. Returns, per output, the
+/// multi-word truth mask, or `None` if any assignment leaves the output
+/// `X`/`Z` (the same poisoning rule as the event-driven path). Lanes
+/// beyond `2^n` in a partial final word are masked out of both the result
+/// and the known-plane test.
+///
+/// Instrumented with `sim.bitsim.words` / `sim.bitsim.lane_utilization`
+/// (valid lanes ÷ evaluated lanes; below 1.0 only for `n < 6`).
+pub fn sweep_truth(
+    proto: &BitSim,
+    inputs: &[NetId],
+    outputs: &[NetId],
+    cfg: &SweepConfig,
+) -> Vec<Option<WideMask>> {
+    let n = inputs.len();
+    assert!(n <= WideMask::MAX_VARS, "at most {} swept inputs", WideMask::MAX_VARS);
+    let words = WideMask::word_count(n);
+    let lanes = WideMask::lane_mask(n);
+    let out = sweep(
+        words,
+        cfg,
+        || WordCtx { sim: proto.clone() },
+        |ctx, item| {
+            ctx.sim.eval_word(inputs, item.index);
+            outputs.iter().map(|&o| ctx.sim.plane(o)).collect::<Vec<(u64, u64)>>()
+        },
+    );
+    let mut masks: Vec<Option<WideMask>> = vec![Some(WideMask::zero(n)); outputs.len()];
+    for (w, planes) in out.results.iter().enumerate() {
+        for (o, &(v, k)) in planes.iter().enumerate() {
+            match masks[o].as_mut() {
+                // every valid lane known: commit the word (dead lanes masked)
+                Some(m) if k & lanes == lanes => m.words_mut()[w] = v & lanes,
+                // an X/Z lane anywhere poisons the whole output
+                _ => masks[o] = None,
+            }
+        }
+    }
+    pmorph_obs::counter!("sim.bitsim.words").add(words as u64);
+    pmorph_obs::gauge!("sim.bitsim.lane_utilization")
+        .set((1u64 << n) as f64 / (words as f64 * 64.0));
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::logic::Logic;
+
+    #[test]
+    fn word_eval_matches_scalar_levelized_lane_by_lane() {
+        // 5-input mixed DAG evaluated both ways across every lane of the
+        // (partial) word.
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<NetId> = (0..5).map(|i| b.net(format!("i{i}"))).collect();
+        let a = b.nand(&[ins[0], ins[1]]);
+        let c = b.xor(&[a, ins[2]]);
+        let d = b.or(&[c, ins[3]]);
+        let e = b.and(&[d, ins[4], a]);
+        let nl = b.build();
+        let mut bits = BitSim::new(nl.clone()).unwrap();
+        bits.eval_word(&ins, 0);
+        let mut lev = Levelized::new(nl).unwrap();
+        for lane in 0..32u64 {
+            let bound: Vec<(NetId, Logic)> = ins
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, Logic::from_bool(lane >> i & 1 == 1)))
+                .collect();
+            let scalar = lev.eval(&bound)[e.0 as usize];
+            let (v, k) = bits.plane(e);
+            assert_eq!(k >> lane & 1, 1, "definite inputs give definite outputs");
+            assert_eq!(Logic::from_bool(v >> lane & 1 == 1), scalar, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn unknown_propagation_matches_kleene_dominance() {
+        // g = AND(x, undriven): known only where x = 0.
+        let mut b = NetlistBuilder::new();
+        let x = b.net("x");
+        let u = b.net("u"); // never driven → X in every lane
+        let g = b.and(&[x, u]);
+        let h = b.or(&[x, u]);
+        let nl = b.build();
+        let mut bits = BitSim::new(nl).unwrap();
+        bits.eval_word(&[x], 0);
+        let (gv, gk) = bits.plane(g);
+        // x's plane is var 0: lanes 1 (odd) carry x=1
+        assert_eq!(gk, !WideMask::var_plane(0, 0), "AND known exactly where x=0");
+        assert_eq!(gv, 0, "unknown and definite-0 lanes both read 0");
+        let (hv, hk) = bits.plane(h);
+        assert_eq!(hk, WideMask::var_plane(0, 0), "OR known exactly where x=1");
+        assert_eq!(hv, WideMask::var_plane(0, 0));
+    }
+
+    #[test]
+    fn const_z_is_unknown_to_gates() {
+        let mut b = NetlistBuilder::new();
+        let x = b.net("x");
+        let z = b.net("z");
+        b.constant(Logic::Z, z);
+        let g = b.nand(&[x, z]);
+        let nl = b.build();
+        let mut bits = BitSim::new(nl).unwrap();
+        bits.eval_word(&[x], 0);
+        let (v, k) = bits.plane(g);
+        // NAND(0, X) = 1; NAND(1, X) = X
+        assert_eq!(k, !WideMask::var_plane(0, 0));
+        assert_eq!(v, !WideMask::var_plane(0, 0) & k);
+    }
+
+    #[test]
+    fn sweep_truth_is_geometry_independent() {
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<NetId> = (0..8).map(|i| b.net(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = b.xor(&[acc, i]);
+        }
+        let nl = b.build();
+        let proto = BitSim::new(nl).unwrap();
+        let reference = sweep_truth(&proto, &ins, &[acc], &SweepConfig::new().with_workers(1));
+        let expect = WideMask::from_fn(8, |m| m.count_ones() % 2 == 1);
+        assert_eq!(reference[0].as_ref(), Some(&expect));
+        for (workers, shard) in [(2usize, 1usize), (3, 2), (8, 4)] {
+            let cfg = SweepConfig::new().with_workers(workers).with_shard_size(shard);
+            assert_eq!(
+                sweep_truth(&proto, &ins, &[acc], &cfg),
+                reference,
+                "workers={workers} shard={shard}"
+            );
+        }
+    }
+}

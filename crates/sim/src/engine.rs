@@ -44,6 +44,19 @@ pub enum SimError {
         /// Simulation time reached.
         time: u64,
     },
+    /// An exhaustive sweep was asked to tabulate more bits than the
+    /// configured ceiling (`outputs · 2^vars > limit_bits`, or more than
+    /// [`crate::vectors::MAX_SWEEP_VARS`] swept inputs). Typed — rather
+    /// than an `assert!` — so mapping flows can degrade gracefully on
+    /// oversized cuts.
+    SweepTooLarge {
+        /// Swept input count requested.
+        vars: usize,
+        /// Output count requested.
+        outputs: usize,
+        /// The table-size ceiling in bits that was exceeded.
+        limit_bits: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -53,6 +66,11 @@ impl std::fmt::Display for SimError {
                 f,
                 "event budget exhausted after {events} events at t={time}ps \
                  (oscillating feedback loop?)"
+            ),
+            SimError::SweepTooLarge { vars, outputs, limit_bits } => write!(
+                f,
+                "exhaustive sweep of {outputs} output(s) over {vars} input(s) \
+                 exceeds the {limit_bits}-bit table ceiling"
             ),
         }
     }
@@ -747,7 +765,9 @@ mod tests {
         sim.drive(en, Logic::L1);
         let budget = 10_000;
         let err = sim.settle(budget).unwrap_err();
-        let SimError::EventLimit { events, time } = err;
+        let SimError::EventLimit { events, time } = err else {
+            panic!("expected EventLimit, got {err:?}");
+        };
         // The reported count is what the simulator actually applied (its
         // lifetime stats), not the caller's budget.
         assert_eq!(events, sim.stats().events);

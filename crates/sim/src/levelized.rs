@@ -37,12 +37,12 @@ impl std::error::Error for LevelizeError {}
 /// A levelized combinational circuit: components in topological order.
 #[derive(Debug)]
 pub struct Levelized {
-    netlist: Netlist,
+    pub(crate) netlist: Netlist,
     /// Component indices in evaluation order.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Output net of each ordered component (all accepted kinds are
     /// single-output), so `eval` never queries `outputs()`.
-    out_net: Vec<u32>,
+    pub(crate) out_net: Vec<u32>,
     /// Net-value buffer reused across `eval` calls.
     values: Vec<Logic>,
 }

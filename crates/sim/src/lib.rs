@@ -21,6 +21,7 @@
 //! (`pmorph-core`), the synthesis macros (`pmorph-synth`), the asynchronous
 //! library (`pmorph-async`) and the baseline FPGA model (`pmorph-fpga`).
 
+pub mod bitsim;
 pub mod builder;
 pub mod engine;
 pub mod levelized;
@@ -30,14 +31,17 @@ pub mod netlist;
 mod queue;
 #[doc(hidden)]
 pub mod reference;
+pub mod table;
 #[doc(hidden)]
 pub mod testgen;
 pub mod timing;
 pub mod vcd;
 pub mod vectors;
 
+pub use bitsim::BitSim;
 pub use builder::NetlistBuilder;
 pub use engine::{SimError, SimSnapshot, SimStats, Simulator};
 pub use levelized::{LevelizeError, Levelized};
 pub use logic::Logic;
 pub use netlist::{CompId, CompState, Component, DriveMode, NetId, Netlist, PortRef};
+pub use table::WideMask;

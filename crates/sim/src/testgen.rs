@@ -78,6 +78,41 @@ pub fn random_netlist(g: &mut Gen) -> (Netlist, Vec<NetId>) {
     (b.build(), inputs)
 }
 
+/// Build a random *pure-combinational* DAG (no feedback, no state, no
+/// tri-state) suitable for every exhaustive-sweep path — the levelized
+/// evaluators, the bit-parallel kernel, and the event-driven
+/// characterize all accept it. Returns the netlist, its primary inputs
+/// (between 1 and `max_inputs`), and 1–3 output nets sampled from the
+/// gate pool.
+pub fn random_combinational(g: &mut Gen, max_inputs: usize) -> (Netlist, Vec<NetId>, Vec<NetId>) {
+    let mut b = NetlistBuilder::new().with_default_delay(g.in_range(1u64..=9));
+    let n_in = g.in_range(1usize..=max_inputs);
+    let inputs: Vec<NetId> = (0..n_in).map(|i| b.net(format!("in{i}"))).collect();
+    let mut pool = inputs.clone();
+
+    let n_gates = g.in_range(4usize..=24);
+    for _ in 0..n_gates {
+        let x = pool[g.in_range(0..pool.len())];
+        let y = pool[g.in_range(0..pool.len())];
+        let z = pool[g.in_range(0..pool.len())];
+        let out = match g.in_range(0u32..8) {
+            0 => b.nand(&[x, y]),
+            1 => b.or(&[x, y]),
+            2 => b.xor(&[x, y]),
+            3 => b.and(&[x, y]),
+            4 => b.inv(x),
+            5 => b.nand(&[x, y, z]),
+            6 => b.and(&[x, y, z]),
+            _ => b.xor(&[x, y, z]),
+        };
+        pool.push(out);
+    }
+
+    let n_out = g.in_range(1usize..=3);
+    let outputs: Vec<NetId> = (0..n_out).map(|_| pool[g.in_range(0..pool.len())]).collect();
+    (b.build(), inputs, outputs)
+}
+
 /// A random stimulus schedule over the input nets: `(time, net, value)`
 /// with strictly increasing per-net times (drive_at requirement is only
 /// time >= now; every consumer must receive the identical list).

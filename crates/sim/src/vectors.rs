@@ -3,14 +3,43 @@
 //! These helpers drive primary inputs through every combination and sample
 //! settled outputs — the machinery used throughout the workspace to prove a
 //! mapped fabric configuration equivalent to its specification truth table.
+//!
+//! Truth tables are [`WideMask`]s (multi-word, up to [`MAX_SWEEP_VARS`]
+//! variables). Historically the masks were single `u64`s and every sweep
+//! path carried a `Some(true) if n <= 6` merge arm — circuits with more
+//! than 6 inputs burned `2^n` simulations and then silently reported an
+//! all-zero mask. The wide type removes that truncation; the bit-parallel
+//! kernel (`crate::bitsim`) makes the wide sweeps fast.
 
+use crate::bitsim::BitSim;
 use crate::engine::{SimError, Simulator};
 use crate::logic::Logic;
 use crate::netlist::{NetId, Netlist};
+use crate::table::WideMask;
 use pmorph_exec::{sweep, ShardCtx, ShardInfo, SweepConfig};
 
 /// Per-vector event budget used by the exhaustive sweeps.
 pub const VECTOR_EVENT_BUDGET: u64 = 200_000;
+
+/// Hard ceiling on swept input count (matches [`WideMask::MAX_VARS`]).
+pub const MAX_SWEEP_VARS: usize = WideMask::MAX_VARS;
+
+/// Hard ceiling on total tabulated bits per sweep
+/// (`outputs · 2^vars ≤ 2^26` — 8 MiB of mask, well past every
+/// fabric/LUT use case).
+pub const MAX_SWEEP_BITS: u64 = 1 << 26;
+
+/// One consistent size guard for every exhaustive sweep path. Returns a
+/// typed [`SimError::SweepTooLarge`] (not an `assert!`) so callers —
+/// e.g. mapping flows probing an oversized cut — can degrade gracefully.
+fn check_sweep_size(vars: usize, outputs: usize) -> Result<(), SimError> {
+    // `vars` is range-checked before the shift so `1 << vars` cannot
+    // overflow — the same order-of-operations trap as the lane masks.
+    if vars > MAX_SWEEP_VARS || (outputs as u64).saturating_mul(1u64 << vars) > MAX_SWEEP_BITS {
+        return Err(SimError::SweepTooLarge { vars, outputs, limit_bits: MAX_SWEEP_BITS });
+    }
+    Ok(())
+}
 
 /// Apply one input vector and return settled output values.
 ///
@@ -32,47 +61,66 @@ pub fn apply_vector(
 }
 
 /// Exhaustively simulate a combinational netlist over all `2^n` input
-/// combinations (n ≤ 20 enforced) and return, for each output, a bitmask
-/// whose bit `i` is that output's value under input assignment `i`
-/// (input 0 is the least-significant index bit).
+/// combinations and return, for each output, a multi-word mask whose bit
+/// `i` is that output's value under input assignment `i` (input 0 is the
+/// least-significant index bit).
 ///
-/// Returns `Err` on oscillation, and treats any `X`/`Z` output as a mapping
-/// failure (`Ok(None)` for that output's mask).
+/// Combinational netlists take the 64-lane bit-parallel path
+/// ([`crate::bitsim::sweep_truth`]); anything that defeats levelization
+/// falls back to the event-driven [`characterize`]. Returns `Err` on
+/// oscillation or an over-limit sweep ([`SimError::SweepTooLarge`]), and
+/// treats any `X`/`Z` output as a mapping failure (`Ok(None)` for that
+/// output's mask).
 pub fn exhaustive_truth(
     netlist: &Netlist,
     inputs: &[NetId],
     outputs: &[NetId],
-) -> Result<Vec<Option<u64>>, SimError> {
-    let n = inputs.len();
-    assert!(n <= 20, "exhaustive sweep limited to 20 inputs");
-    assert!(n <= 6 || outputs.len() * (1usize << n) < (1 << 26), "sweep too large");
-    // Fast path: pure combinational netlists levelize and evaluate with no
-    // event queue (equivalence to the kernel is pinned by the levelized
-    // module's own tests).
-    if let Ok(mut lev) = crate::levelized::Levelized::new(netlist.clone()) {
-        let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
-        for assignment in 0u64..(1 << n) {
-            let bound: Vec<(NetId, Logic)> = inputs
-                .iter()
-                .enumerate()
-                .map(|(i, &inp)| (inp, Logic::from_bool(assignment >> i & 1 == 1)))
-                .collect();
-            let values = lev.eval(&bound);
-            for (o, &out) in outputs.iter().enumerate() {
-                match values[out.0 as usize].to_bool() {
-                    Some(true) if n <= 6 => {
-                        if let Some(m) = masks[o].as_mut() {
-                            *m |= 1 << assignment;
-                        }
-                    }
-                    Some(_) => {}
-                    None => masks[o] = None,
-                }
-            }
-        }
-        return Ok(masks);
+) -> Result<Vec<Option<WideMask>>, SimError> {
+    check_sweep_size(inputs.len(), outputs.len())?;
+    // Fast path: pure combinational netlists evaluate 64 assignments per
+    // word with no event queue (equivalence to the scalar levelized
+    // evaluator and the event kernel is pinned by the bitsim module's
+    // tests and `tests/bitsim_differential.rs`).
+    if let Ok(bits) = BitSim::new(netlist.clone()) {
+        return Ok(crate::bitsim::sweep_truth(&bits, inputs, outputs, &SweepConfig::new()));
     }
     characterize(netlist, inputs, outputs, &SweepConfig::new())
+}
+
+/// The scalar levelized sweep that [`exhaustive_truth`] used before the
+/// bit-parallel kernel: one assignment at a time through
+/// [`crate::levelized::Levelized`]. Retained as the differential-test
+/// oracle for `bitsim` (and as the throughput baseline in
+/// `bench/bitsim`). Panics if the netlist does not levelize.
+#[doc(hidden)]
+pub fn exhaustive_truth_levelized(
+    netlist: &Netlist,
+    inputs: &[NetId],
+    outputs: &[NetId],
+) -> Result<Vec<Option<WideMask>>, SimError> {
+    let n = inputs.len();
+    check_sweep_size(n, outputs.len())?;
+    let mut lev = crate::levelized::Levelized::new(netlist.clone()).expect("combinational");
+    let mut masks: Vec<Option<WideMask>> = vec![Some(WideMask::zero(n)); outputs.len()];
+    for assignment in 0u64..(1 << n) {
+        let bound: Vec<(NetId, Logic)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &inp)| (inp, Logic::from_bool(assignment >> i & 1 == 1)))
+            .collect();
+        let values = lev.eval(&bound);
+        for (o, &out) in outputs.iter().enumerate() {
+            match values[out.0 as usize].to_bool() {
+                Some(v) => {
+                    if let Some(m) = masks[o].as_mut() {
+                        m.set(assignment, v);
+                    }
+                }
+                None => masks[o] = None,
+            }
+        }
+    }
+    Ok(masks)
 }
 
 /// Per-worker state for the multi-vector sweeps: one compiled simulator
@@ -119,15 +167,16 @@ impl ShardCtx for VectorCtx {
 /// clones one compiled simulator and `snapshot`/`restore`s between
 /// vectors, and the masks reduce in assignment order. On any vector
 /// error the lowest-numbered assignment's error is returned — the same
-/// error the serial reference loop stops at.
+/// error the serial reference loop stops at. Enforces the same
+/// [`SimError::SweepTooLarge`] bound as [`exhaustive_truth`].
 pub fn characterize(
     netlist: &Netlist,
     inputs: &[NetId],
     outputs: &[NetId],
     cfg: &SweepConfig,
-) -> Result<Vec<Option<u64>>, SimError> {
+) -> Result<Vec<Option<WideMask>>, SimError> {
     let n = inputs.len();
-    assert!(n <= 20, "exhaustive sweep limited to 20 inputs");
+    check_sweep_size(n, outputs.len())?;
     let per_vector = sweep(
         1usize << n,
         cfg,
@@ -135,17 +184,16 @@ pub fn characterize(
         |ctx, item| ctx.run_vector(inputs, outputs, item.index as u64),
     )
     .results;
-    let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
+    let mut masks: Vec<Option<WideMask>> = vec![Some(WideMask::zero(n)); outputs.len()];
     for (assignment, values) in per_vector.into_iter().enumerate() {
         let values = values?; // lowest-index error, as in the serial loop
         for (o, v) in values.into_iter().enumerate() {
             match v.to_bool() {
-                Some(true) if n <= 6 => {
+                Some(v) => {
                     if let Some(m) = masks[o].as_mut() {
-                        *m |= 1 << assignment;
+                        m.set(assignment as u64, v);
                     }
                 }
-                Some(true) | Some(false) => {}
                 None => masks[o] = None,
             }
         }
@@ -161,10 +209,10 @@ pub fn exhaustive_truth_flat(
     netlist: &Netlist,
     inputs: &[NetId],
     outputs: &[NetId],
-) -> Result<Vec<Option<u64>>, SimError> {
+) -> Result<Vec<Option<WideMask>>, SimError> {
     let n = inputs.len();
-    assert!(n <= 20, "exhaustive sweep limited to 20 inputs");
-    let mut masks: Vec<Option<u64>> = vec![Some(0); outputs.len()];
+    check_sweep_size(n, outputs.len())?;
+    let mut masks: Vec<Option<WideMask>> = vec![Some(WideMask::zero(n)); outputs.len()];
     // One simulator for the whole sweep, rewound to its just-built state
     // before each vector via snapshot/restore — bit-identical to a fresh
     // instance per vector (each vector stays independent of sweep order)
@@ -181,12 +229,11 @@ pub fn exhaustive_truth_flat(
         sim.settle(VECTOR_EVENT_BUDGET)?;
         for (o, &out) in outputs.iter().enumerate() {
             match sim.value(out).to_bool() {
-                Some(true) if n <= 6 => {
+                Some(v) => {
                     if let Some(m) = masks[o].as_mut() {
-                        *m |= 1 << assignment;
+                        m.set(assignment, v);
                     }
                 }
-                Some(true) | Some(false) => {}
                 None => masks[o] = None,
             }
         }
@@ -222,7 +269,8 @@ mod tests {
         let z = b.and(&[x, y]);
         let nl = b.build();
         let masks = exhaustive_truth(&nl, &[x, y], &[z]).unwrap();
-        assert_eq!(masks, vec![Some(0b1000)]); // only assignment 3 (x=1,y=1)
+        // only assignment 3 (x=1,y=1)
+        assert_eq!(masks, vec![Some(WideMask::from_u64(2, 0b1000))]);
     }
 
     #[test]
@@ -238,7 +286,46 @@ mod tests {
         let nl = b.build();
         let masks = exhaustive_truth(&nl, &[x, y, z], &[maj]).unwrap();
         // majority true for assignments 3,5,6,7
-        assert_eq!(masks, vec![Some(0b1110_1000)]);
+        assert_eq!(masks, vec![Some(WideMask::from_u64(3, 0b1110_1000))]);
+    }
+
+    #[test]
+    fn seven_input_and_is_nonzero_in_high_word() {
+        // Regression for the silent `n <= 6` truncation: a 7-input AND is
+        // true only at assignment 127 — bit 63 of word 1. The old sweep
+        // paths returned Some(0) here after burning all 128 simulations.
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<NetId> = (0..7).map(|i| b.net(format!("i{i}"))).collect();
+        let z = b.and(&ins);
+        let nl = b.build();
+        let expect = WideMask::from_words(7, vec![0, 0x8000_0000_0000_0000]);
+        assert!(!expect.is_zero());
+        let masks = exhaustive_truth(&nl, &ins, &[z]).unwrap();
+        assert_eq!(masks, vec![Some(expect.clone())]);
+        assert_eq!(exhaustive_truth_flat(&nl, &ins, &[z]).unwrap(), vec![Some(expect.clone())]);
+        assert_eq!(
+            characterize(&nl, &ins, &[z], &SweepConfig::new().with_workers(4)).unwrap(),
+            vec![Some(expect)]
+        );
+    }
+
+    #[test]
+    fn ten_input_parity_fills_all_sixteen_words() {
+        // 10-input XOR tree: odd-parity mask across 16 words, non-zero in
+        // every word — the acceptance-criteria regression circuit.
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<NetId> = (0..10).map(|i| b.net(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = b.xor(&[acc, i]);
+        }
+        let nl = b.build();
+        let expect = WideMask::from_fn(10, |m| m.count_ones() % 2 == 1);
+        let masks = exhaustive_truth(&nl, &ins, &[acc]).unwrap();
+        assert_eq!(masks, vec![Some(expect.clone())]);
+        assert!(masks[0].as_ref().unwrap().words().iter().all(|&w| w != 0));
+        // the scalar levelized oracle agrees word for word
+        assert_eq!(exhaustive_truth_levelized(&nl, &ins, &[acc]).unwrap(), masks);
     }
 
     #[test]
@@ -273,5 +360,33 @@ mod tests {
         let nl = b.build();
         let masks = exhaustive_truth(&nl, &[x], &[z]).unwrap();
         assert_eq!(masks, vec![None], "floating input poisons output");
+    }
+
+    #[test]
+    fn oversized_sweeps_return_typed_errors_on_every_path() {
+        let mut b = NetlistBuilder::new();
+        let ins: Vec<NetId> = (0..21).map(|i| b.net(format!("i{i}"))).collect();
+        let z = b.and(&ins);
+        let nl = b.build();
+        // 21 inputs: over MAX_SWEEP_VARS, even though 1·2^21 < 2^26
+        let err = exhaustive_truth(&nl, &ins, &[z]).unwrap_err();
+        assert!(matches!(err, SimError::SweepTooLarge { vars: 21, outputs: 1, .. }), "{err}");
+        // 20 inputs × 128 outputs: 2^27 tabulated bits, over MAX_SWEEP_BITS
+        let wide_out: Vec<NetId> = vec![z; 128];
+        let e2 = exhaustive_truth(&nl, &ins[..20], &wide_out).unwrap_err();
+        assert!(matches!(e2, SimError::SweepTooLarge { vars: 20, outputs: 128, .. }), "{e2}");
+        // the same guard on all three paths — characterize (the fallback)
+        // historically had no bound at all
+        assert!(matches!(
+            characterize(&nl, &ins, &[z], &SweepConfig::new()),
+            Err(SimError::SweepTooLarge { .. })
+        ));
+        assert!(matches!(
+            exhaustive_truth_flat(&nl, &ins, &[z]),
+            Err(SimError::SweepTooLarge { .. })
+        ));
+        // boundary: exactly at the ceiling is allowed (guard is strict >)
+        assert!(check_sweep_size(20, 64).is_ok());
+        assert!(check_sweep_size(20, 65).is_err());
     }
 }

@@ -1,95 +1,104 @@
-//! Truth tables for functions of up to six variables.
+//! Truth tables over the shared multi-word mask type.
 //!
-//! Six is the fabric's natural bound: a block has six input columns, and a
-//! block pair is "the equivalent of a small LUT with 6 inputs, 6 outputs
-//! and 6 product-terms" (paper §4).
+//! Six variables is the fabric's natural bound — a block has six input
+//! columns, and a block pair is "the equivalent of a small LUT with 6
+//! inputs, 6 outputs and 6 product-terms" (paper §4) — but mapping-flow
+//! *checks* routinely look at wider cones, so the table is backed by
+//! [`WideMask`] (up to [`WideMask::MAX_VARS`] variables) rather than a
+//! bare `u64`. The single-word accessors ([`TruthTable::bits`],
+//! [`TruthTable::from_bits`]) keep their `n ≤ 6` contract and assert it,
+//! replacing the old `(1 << (1 << n)) - 1` mask computation that sat one
+//! careless call away from a shift-by-64 overflow.
 
-/// A boolean function of `n ≤ 6` variables, stored as a 2^n-bit mask with
-/// minterm `m`'s value in bit `m` (variable 0 is the least-significant
-/// index bit).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+use pmorph_sim::table::WideMask;
+
+/// A boolean function of `n` variables, stored as a `2^n`-bit minterm
+/// mask with minterm `m`'s value in bit `m` (variable 0 is the
+/// least-significant index bit). No longer `Copy`: wide tables own their
+/// words — clone explicitly.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TruthTable {
-    n: u8,
-    bits: u64,
+    mask: WideMask,
 }
 
 impl TruthTable {
-    /// Build from an explicit bit mask.
+    /// Build from an explicit single-word bit mask (`n ≤ 6` — a `u64`
+    /// cannot hold more; wider functions come from [`TruthTable::from_fn`]
+    /// or [`TruthTable::from_mask`]).
     pub fn from_bits(n: usize, bits: u64) -> Self {
-        assert!(n <= 6, "at most 6 variables");
-        let mask = if n == 6 { u64::MAX } else { (1u64 << (1 << n)) - 1 };
-        TruthTable { n: n as u8, bits: bits & mask }
+        assert!(n <= 6, "a u64 mask holds at most 6 variables");
+        TruthTable { mask: WideMask::from_u64(n, bits) }
+    }
+
+    /// Build from a multi-word mask.
+    pub fn from_mask(mask: WideMask) -> Self {
+        TruthTable { mask }
     }
 
     /// Build by evaluating `f` on every minterm.
-    pub fn from_fn(n: usize, mut f: impl FnMut(u64) -> bool) -> Self {
-        assert!(n <= 6);
-        let mut bits = 0u64;
-        for m in 0..(1u64 << n) {
-            if f(m) {
-                bits |= 1 << m;
-            }
-        }
-        TruthTable { n: n as u8, bits }
+    pub fn from_fn(n: usize, f: impl FnMut(u64) -> bool) -> Self {
+        TruthTable { mask: WideMask::from_fn(n, f) }
     }
 
     /// Constant-false function.
     pub fn zero(n: usize) -> Self {
-        Self::from_bits(n, 0)
+        TruthTable { mask: WideMask::zero(n) }
     }
 
     /// Constant-true function.
     pub fn one(n: usize) -> Self {
-        Self::from_fn(n, |_| true)
+        TruthTable { mask: WideMask::ones(n) }
     }
 
     /// Number of variables.
     pub fn vars(&self) -> usize {
-        self.n as usize
+        self.mask.vars()
     }
 
-    /// Raw mask.
+    /// Raw single-word mask (`n ≤ 6` only — wide tables via
+    /// [`TruthTable::mask`]).
     pub fn bits(&self) -> u64 {
-        self.bits
+        self.mask.as_u64()
+    }
+
+    /// The backing multi-word mask.
+    pub fn mask(&self) -> &WideMask {
+        &self.mask
     }
 
     /// Value at a minterm.
     pub fn eval(&self, minterm: u64) -> bool {
-        debug_assert!(minterm < (1 << self.n));
-        self.bits >> minterm & 1 == 1
+        self.mask.get(minterm)
     }
 
     /// Iterator over the true minterms.
     pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
-        (0..(1u64 << self.n)).filter(|m| self.eval(*m))
+        self.mask.minterms()
     }
 
-    /// Number of true minterms.
+    /// Number of true minterms (≤ 2^20, so `u32` suffices).
     pub fn count_ones(&self) -> u32 {
-        self.bits.count_ones()
+        self.mask.count_ones() as u32
     }
 
     /// Complement.
     pub fn not(&self) -> Self {
-        Self::from_bits(self.vars(), !self.bits)
+        TruthTable { mask: self.mask.not() }
     }
 
     /// Pointwise AND (same arity required).
     pub fn and(&self, other: &Self) -> Self {
-        assert_eq!(self.n, other.n);
-        Self::from_bits(self.vars(), self.bits & other.bits)
+        TruthTable { mask: self.mask.and(&other.mask) }
     }
 
     /// Pointwise OR.
     pub fn or(&self, other: &Self) -> Self {
-        assert_eq!(self.n, other.n);
-        Self::from_bits(self.vars(), self.bits | other.bits)
+        TruthTable { mask: self.mask.or(&other.mask) }
     }
 
     /// Pointwise XOR.
     pub fn xor(&self, other: &Self) -> Self {
-        assert_eq!(self.n, other.n);
-        Self::from_bits(self.vars(), self.bits ^ other.bits)
+        TruthTable { mask: self.mask.xor(&other.mask) }
     }
 
     /// Shannon cofactor with variable `v` fixed to `value`, returned as a
@@ -186,9 +195,29 @@ mod tests {
     }
 
     #[test]
-    fn six_var_masking() {
+    fn six_var_boundary_fills_the_word_exactly() {
+        // the 6-variable boundary is where the old mask computation
+        // (1 << (1 << n)) - 1 would have shifted by 64
         let t = TruthTable::one(6);
         assert_eq!(t.bits(), u64::MAX);
         assert_eq!(t.count_ones(), 64);
+        assert_eq!(TruthTable::from_bits(6, u64::MAX).count_ones(), 64);
+    }
+
+    #[test]
+    fn seven_var_tables_span_two_words() {
+        // one word past the u64 boundary: parity of 7 variables has
+        // exactly 64 minterms spread over both words
+        let t = TruthTable::parity(7);
+        assert_eq!(t.vars(), 7);
+        assert_eq!(t.count_ones(), 64);
+        assert_eq!(t.mask().words().len(), 2);
+        assert!(t.mask().words().iter().all(|&w| w != 0));
+        assert!(t.eval(127) && !t.eval(126), "high-word minterms readable");
+        // cofactoring a 7-var table lands back on a single word
+        let c = t.cofactor(6, true);
+        assert_eq!(c, TruthTable::parity(6).not());
+        // wide tables refuse the single-word accessor
+        assert!(std::panic::catch_unwind(|| t.bits()).is_err());
     }
 }

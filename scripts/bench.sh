@@ -6,8 +6,10 @@
 # (sharded sweep engine vs flat references) into BENCH_sweeps.json, and
 # validates each artifact with `benchcheck` (structure, positive medians,
 # required throughput workloads, and every recorded pass/fail check —
-# allocation-free steady state for the kernel; bit-identity and the
-# core-scaled sharded-vs-flat speedup floor for the sweeps).
+# allocation-free steady state, the bitsim/ group's ≥10× bit-parallel
+# speedup over the scalar levelized sweep and its partial-word lane
+# masking for the kernel; bit-identity and the core-scaled
+# sharded-vs-flat speedup floor for the sweeps).
 #
 # Budget: PMORPH_BENCH_MS per benchmark (default 300 ms). CI runs a short
 # smoke (PMORPH_BENCH_MS=20) via scripts/verify.sh; for a baseline worth

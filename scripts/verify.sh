@@ -36,9 +36,11 @@ echo "== observability differential suite =="
 cargo test -q -p pmorph-bench --test obs_differential --test benchcheck_cli
 
 echo "== kernel bench smoke (short budget) =="
-# A fast pass over the kernel suite: exercises every tracked workload,
-# the allocation-free steady-state check, and benchcheck's validation of
-# the JSON artifact — without paying for a full baseline run.
+# A fast pass over the kernel suite: exercises every tracked workload
+# (including the bitsim/ bit-parallel group with its ≥10× speedup and
+# lane-masking checks), the allocation-free steady-state check, and
+# benchcheck's validation of the JSON artifact — without paying for a
+# full baseline run.
 # Absolute sink path: cargo runs the bench binary from crates/bench/.
 PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_kernel.smoke.json" \
     cargo bench -q -p pmorph-bench --bench kernel >/dev/null

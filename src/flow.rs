@@ -59,7 +59,12 @@ pub fn map_design_to_fabric(design: &MappedDesign) -> Result<FabricDesign, MapEr
     for lut in &design.luts {
         let k = lut.inputs.len();
         assert!(k <= 4, "tech map was run with K ≤ 4");
-        let tt = TruthTable::from_bits(k.max(1), lut.truth);
+        // degenerate 0-input LUTs keep the historical 1-var padded shape
+        let tt = if k == 0 {
+            TruthTable::from_fn(1, |m| m == 0 && lut.truth.get(0))
+        } else {
+            TruthTable::from_mask(lut.truth.clone())
+        };
         let output_port =
             if k <= 3 {
                 let ports = lut3(&mut fabric, 0, next_row, &tt)?;
