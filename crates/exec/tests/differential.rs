@@ -19,6 +19,7 @@ use pmorph_bench::experiments::fabric_figs::{
 };
 use pmorph_device::variation::{run_study_cfg, run_study_flat, VariationModel};
 use pmorph_exec::SweepConfig;
+use pmorph_util::env::EnvGuard;
 
 const WORKERS: [usize; 4] = [1, 2, 3, 8];
 
@@ -74,6 +75,24 @@ fn fig10_adder_vector_sweep_is_identical_across_the_thread_matrix() {
             "fig10 diverged at workers={:?} shard={}",
             cfg.workers, cfg.shard_size
         );
+    }
+}
+
+#[test]
+fn env_derived_worker_count_is_differential_too() {
+    // The env-default path (`SweepConfig::new()` with no pinned workers
+    // resolves `PMORPH_THREADS` at sweep time) covered in-process: the
+    // scoped EnvGuard swaps the variable per run and restores it after,
+    // no subprocess per thread count. Results must match the pinned-
+    // worker matrix's flat reference bit-for-bit.
+    let samples = 40;
+    let model = VariationModel::doped_bulk();
+    let flat = run_study_flat(model, samples, 42, 0.4, 0.6, 1);
+    for threads in ["1", "3", "8"] {
+        let mut guard = EnvGuard::new();
+        guard.set("PMORPH_THREADS", threads);
+        let got = run_study_cfg(model, samples, 42, 0.4, 0.6, &SweepConfig::new());
+        assert_eq!(got, flat, "env-derived run diverged at PMORPH_THREADS={threads}");
     }
 }
 

@@ -1,8 +1,14 @@
 //! The enabled/disabled gate, tested in a process of its own: these tests
 //! flip the global gate off, which would race the recording assertions in
 //! the crate's unit-test binary.
+//!
+//! The env-derived path (`PMORPH_OBS` / `PMORPH_OBS_JSON`) is driven
+//! in-process through the scoped [`EnvGuard`] — set, re-resolve via
+//! `force_from_env`, assert, restore — instead of spawning a subprocess
+//! per environment shape.
 
 use pmorph_obs::registry::{counter, gauge, histogram, span};
+use pmorph_util::env::EnvGuard;
 
 /// One test function drives every scenario sequentially — the gate is
 /// process-global, so parallel test threads must not interleave flips.
@@ -45,4 +51,38 @@ fn disabled_layer_is_a_no_op_and_flips_take_effect_immediately() {
     pmorph_obs::force(false);
     c.add(10);
     assert_eq!(c.get(), 10);
+
+    // --- The env-derived gate, each shape under a scoped EnvGuard ---
+    // (same test function: the gate is process-global, and EnvGuard's
+    // process lock serializes the env flips against nothing else here).
+    let resolve = |guard: &mut EnvGuard, obs: Option<&str>, json: Option<&str>| {
+        match obs {
+            Some(v) => guard.set("PMORPH_OBS", v),
+            None => guard.unset("PMORPH_OBS"),
+        };
+        match json {
+            Some(v) => guard.set("PMORPH_OBS_JSON", v),
+            None => guard.unset("PMORPH_OBS_JSON"),
+        };
+        pmorph_obs::force_from_env();
+        pmorph_obs::enabled()
+    };
+    {
+        let mut guard = EnvGuard::new();
+        assert!(!resolve(&mut guard, None, None), "unset env means disabled");
+        for on in ["1", "true", "on"] {
+            assert!(resolve(&mut guard, Some(on), None), "PMORPH_OBS={on} enables");
+        }
+        for off in ["0", "false", "off", "yes", ""] {
+            assert!(!resolve(&mut guard, Some(off), None), "PMORPH_OBS={off} disables");
+        }
+        // A report sink alone implies metrics; an empty sink does not.
+        assert!(resolve(&mut guard, None, Some("/tmp/report.json")));
+        assert!(!resolve(&mut guard, None, Some("")));
+        // An explicit PMORPH_OBS=0 wins over a sink path.
+        assert!(!resolve(&mut guard, Some("0"), Some("/tmp/report.json")));
+    }
+    // Guard dropped: environment restored. Leave the gate disabled, as
+    // the rest of this binary expects.
+    pmorph_obs::force(false);
 }

@@ -1,0 +1,598 @@
+//! Job specifications: the JSON request schema, its canonical form (the
+//! content-address), and job execution.
+//!
+//! ## Canonicalization and cache keys
+//!
+//! Every job spec re-serializes to a **canonical compact JSON** string:
+//! fields in one fixed order per job type, defaults made explicit,
+//! unknown fields rejected at parse time. The cache key is the FNV-1a
+//! hash ([`pmorph_util::hash`]) of those canonical bytes — so two
+//! submissions that differ only in JSON field order or whitespace share
+//! an address, while any semantic difference (one changed config byte)
+//! derives a different key. The canonical string itself is stored next
+//! to each cached artifact and compared on lookup, so even an FNV
+//! collision cannot alias two different jobs.
+//!
+//! ## Job types
+//!
+//! | `type` | flow | payload artifact |
+//! |---|---|---|
+//! | `truth_sweep` | netlist → tech map → 64-lane exhaustive sweep | per-output `WideMask` truth tables |
+//! | `fault_campaign` | defect sampling over a fabric (E19 kernel) | per-trial defect/bad-block counts |
+//! | `place_route` | netlist → tech map → seeded place + route + timing | placement, wirelength, critical path, LUT config image |
+//! | `sleep` | diagnostic: cancellable timed steps | steps completed |
+//!
+//! `sleep` is deliberately uncacheable (and is the lever the e2e suite
+//! uses to hold a worker busy); the other three are pure functions of
+//! their canonical spec, which is what makes content-addressing sound.
+
+use crate::cache::ArtifactCache;
+use pmorph_core::faults::DefectMap;
+use pmorph_exec::SweepConfig;
+use pmorph_fpga::pnr::{best_seeded_placement, FpgaTiming};
+use pmorph_fpga::{circuits, tech_map, MappedDesign};
+use pmorph_sim::table::WideMask;
+use pmorph_util::hash::Fnv64;
+use pmorph_util::json::Value;
+use pmorph_util::rng::mix_seed;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Generator circuits a job may name (the `pmorph-fpga` benchmark set).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CircuitKind {
+    /// `ripple_adder_gates(size)` — combinational.
+    RippleAdder,
+    /// `parity_tree(size)` — combinational.
+    ParityTree,
+    /// `shift_register(size)` — sequential.
+    ShiftRegister,
+    /// `registered_pipeline(size)` — sequential.
+    RegisteredPipeline,
+}
+
+impl CircuitKind {
+    fn from_name(name: &str) -> Option<CircuitKind> {
+        match name {
+            "ripple_adder" => Some(CircuitKind::RippleAdder),
+            "parity_tree" => Some(CircuitKind::ParityTree),
+            "shift_register" => Some(CircuitKind::ShiftRegister),
+            "registered_pipeline" => Some(CircuitKind::RegisteredPipeline),
+            _ => None,
+        }
+    }
+
+    /// The canonical (wire) name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CircuitKind::RippleAdder => "ripple_adder",
+            CircuitKind::ParityTree => "parity_tree",
+            CircuitKind::ShiftRegister => "shift_register",
+            CircuitKind::RegisteredPipeline => "registered_pipeline",
+        }
+    }
+
+    /// Primary-input count of the generated circuit (exact; used to
+    /// bound `truth_sweep` against the `WideMask` 20-variable limit).
+    fn input_count(&self, size: usize) -> usize {
+        match self {
+            CircuitKind::RippleAdder => 2 * size + 1,
+            CircuitKind::ParityTree => size,
+            CircuitKind::ShiftRegister => 2,
+            CircuitKind::RegisteredPipeline => 3,
+        }
+    }
+
+    fn is_combinational(&self) -> bool {
+        matches!(self, CircuitKind::RippleAdder | CircuitKind::ParityTree)
+    }
+}
+
+/// A circuit reference inside a job spec.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CircuitSpec {
+    /// Which generator.
+    pub kind: CircuitKind,
+    /// Generator size parameter.
+    pub size: usize,
+}
+
+impl CircuitSpec {
+    /// Instantiate the circuit.
+    pub fn build(&self) -> circuits::Circuit {
+        match self.kind {
+            CircuitKind::RippleAdder => circuits::ripple_adder_gates(self.size),
+            CircuitKind::ParityTree => circuits::parity_tree(self.size),
+            CircuitKind::ShiftRegister => circuits::shift_register(self.size),
+            CircuitKind::RegisteredPipeline => circuits::registered_pipeline(self.size),
+        }
+    }
+
+    /// Cache key for this circuit's tech-mapped design (shared by every
+    /// job type that needs the mapped netlist).
+    pub fn design_key(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_str("design:").write_str(self.kind.name()).write_u64(self.size as u64);
+        h.finish()
+    }
+}
+
+/// A validated job specification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobSpec {
+    /// Exhaustive truth-table sweep of a combinational circuit.
+    TruthSweep {
+        /// Circuit to characterize.
+        circuit: CircuitSpec,
+    },
+    /// Defect-map sampling campaign over a `width × height` fabric.
+    FaultCampaign {
+        /// Fabric width (blocks).
+        width: usize,
+        /// Fabric height (blocks).
+        height: usize,
+        /// Per-resource defect probability.
+        rate: f64,
+        /// Number of sampled maps.
+        trials: usize,
+        /// Parent seed (per-trial seeds are `mix_seed(seed, trial)`).
+        seed: u64,
+    },
+    /// Seeded placement search + routing + timing.
+    PlaceRoute {
+        /// Circuit to place.
+        circuit: CircuitSpec,
+        /// Placement candidates to score.
+        candidates: usize,
+        /// Candidate-shuffle seed.
+        seed: u64,
+    },
+    /// Diagnostic job: `steps` sleeps of `step_ms`, checking
+    /// cancellation between steps. Never cached.
+    Sleep {
+        /// Number of steps.
+        steps: usize,
+        /// Milliseconds per step.
+        step_ms: u64,
+    },
+}
+
+/// Spec validation failure (maps to HTTP 400).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Integer field access: present, a non-negative whole number, in range.
+fn get_int(obj: &Value, key: &str, min: u64, max: u64) -> Result<u64, SpecError> {
+    let v = obj.get(key).ok_or_else(|| err(format!("missing field `{key}`")))?;
+    let x = v.as_f64().ok_or_else(|| err(format!("field `{key}` must be a number")))?;
+    if x.fract() != 0.0 || !(0.0..=9.0e15).contains(&x) {
+        return Err(err(format!("field `{key}` must be a non-negative integer")));
+    }
+    let n = x as u64;
+    if !(min..=max).contains(&n) {
+        return Err(err(format!("field `{key}` must be in {min}..={max}, got {n}")));
+    }
+    Ok(n)
+}
+
+fn get_f64(obj: &Value, key: &str, min: f64, max: f64) -> Result<f64, SpecError> {
+    let v = obj.get(key).ok_or_else(|| err(format!("missing field `{key}`")))?;
+    let x = v.as_f64().ok_or_else(|| err(format!("field `{key}` must be a number")))?;
+    if !(min..=max).contains(&x) {
+        return Err(err(format!("field `{key}` must be in [{min}, {max}], got {x}")));
+    }
+    Ok(x)
+}
+
+fn check_fields(obj: &Value, allowed: &[&str]) -> Result<(), SpecError> {
+    let Value::Object(fields) = obj else {
+        return Err(err("job spec must be a JSON object"));
+    };
+    for (k, _) in fields {
+        if !allowed.contains(&k.as_str()) {
+            return Err(err(format!("unknown field `{k}`")));
+        }
+    }
+    Ok(())
+}
+
+fn get_circuit(obj: &Value) -> Result<CircuitSpec, SpecError> {
+    let name = obj
+        .get("circuit")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("missing string field `circuit`"))?;
+    let kind = CircuitKind::from_name(name).ok_or_else(|| {
+        err(format!(
+            "unknown circuit `{name}` (one of: ripple_adder, parity_tree, \
+             shift_register, registered_pipeline)"
+        ))
+    })?;
+    let size = get_int(obj, "size", 2, 64)? as usize;
+    Ok(CircuitSpec { kind, size })
+}
+
+impl JobSpec {
+    /// Parse and validate a JSON job spec. Strict: unknown fields and
+    /// out-of-range values are errors, so every accepted spec has exactly
+    /// one canonical form.
+    pub fn parse(doc: &Value) -> Result<JobSpec, SpecError> {
+        if !matches!(doc, Value::Object(_)) {
+            return Err(err("job spec must be a JSON object"));
+        }
+        let ty = doc
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("missing string field `type`"))?;
+        match ty {
+            "truth_sweep" => {
+                check_fields(doc, &["type", "circuit", "size"])?;
+                let circuit = get_circuit(doc)?;
+                if !circuit.kind.is_combinational() {
+                    return Err(err(format!(
+                        "truth_sweep requires a combinational circuit, `{}` is sequential",
+                        circuit.kind.name()
+                    )));
+                }
+                let inputs = circuit.kind.input_count(circuit.size);
+                if inputs > WideMask::MAX_VARS {
+                    return Err(err(format!(
+                        "truth_sweep over {inputs} inputs exceeds the {}-variable sweep limit",
+                        WideMask::MAX_VARS
+                    )));
+                }
+                Ok(JobSpec::TruthSweep { circuit })
+            }
+            "fault_campaign" => {
+                check_fields(doc, &["type", "width", "height", "rate", "trials", "seed"])?;
+                Ok(JobSpec::FaultCampaign {
+                    width: get_int(doc, "width", 1, 256)? as usize,
+                    height: get_int(doc, "height", 1, 256)? as usize,
+                    rate: get_f64(doc, "rate", 0.0, 1.0)?,
+                    trials: get_int(doc, "trials", 1, 100_000)? as usize,
+                    seed: get_int(doc, "seed", 0, u64::MAX >> 11)?,
+                })
+            }
+            "place_route" => {
+                check_fields(doc, &["type", "circuit", "size", "candidates", "seed"])?;
+                Ok(JobSpec::PlaceRoute {
+                    circuit: get_circuit(doc)?,
+                    candidates: get_int(doc, "candidates", 1, 10_000)? as usize,
+                    seed: get_int(doc, "seed", 0, u64::MAX >> 11)?,
+                })
+            }
+            "sleep" => {
+                check_fields(doc, &["type", "steps", "step_ms"])?;
+                Ok(JobSpec::Sleep {
+                    steps: get_int(doc, "steps", 0, 10_000)? as usize,
+                    step_ms: get_int(doc, "step_ms", 0, 1_000)?,
+                })
+            }
+            other => Err(err(format!(
+                "unknown job type `{other}` (one of: truth_sweep, fault_campaign, \
+                 place_route, sleep)"
+            ))),
+        }
+    }
+
+    /// The job type's wire name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::TruthSweep { .. } => "truth_sweep",
+            JobSpec::FaultCampaign { .. } => "fault_campaign",
+            JobSpec::PlaceRoute { .. } => "place_route",
+            JobSpec::Sleep { .. } => "sleep",
+        }
+    }
+
+    /// Canonical compact JSON: one fixed field order per type, defaults
+    /// explicit. This string *is* the content address (hash it with
+    /// [`JobSpec::cache_key`]) and round-trips through [`JobSpec::parse`].
+    pub fn canonical(&self) -> String {
+        let mut obj = Value::object();
+        obj.set("type", Value::Str(self.kind().into()));
+        match self {
+            JobSpec::TruthSweep { circuit } => {
+                obj.set("circuit", Value::Str(circuit.kind.name().into()));
+                obj.set("size", Value::Num(circuit.size as f64));
+            }
+            JobSpec::FaultCampaign { width, height, rate, trials, seed } => {
+                obj.set("width", Value::Num(*width as f64));
+                obj.set("height", Value::Num(*height as f64));
+                obj.set("rate", Value::Num(*rate));
+                obj.set("trials", Value::Num(*trials as f64));
+                obj.set("seed", Value::Num(*seed as f64));
+            }
+            JobSpec::PlaceRoute { circuit, candidates, seed } => {
+                obj.set("circuit", Value::Str(circuit.kind.name().into()));
+                obj.set("size", Value::Num(circuit.size as f64));
+                obj.set("candidates", Value::Num(*candidates as f64));
+                obj.set("seed", Value::Num(*seed as f64));
+            }
+            JobSpec::Sleep { steps, step_ms } => {
+                obj.set("steps", Value::Num(*steps as f64));
+                obj.set("step_ms", Value::Num(*step_ms as f64));
+            }
+        }
+        obj.to_string_compact()
+    }
+
+    /// Is this job a pure function of its spec (safe to content-cache)?
+    pub fn cacheable(&self) -> bool {
+        !matches!(self, JobSpec::Sleep { .. })
+    }
+
+    /// The content address: FNV-1a of the canonical spec JSON.
+    pub fn cache_key(&self) -> u64 {
+        pmorph_util::hash::fnv1a_64(self.canonical().as_bytes())
+    }
+}
+
+/// Why a job run did not produce a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The cancel flag was observed mid-run.
+    Cancelled,
+    /// The flow itself failed (message lands in the job record).
+    Failed(String),
+}
+
+fn check_cancel(cancel: &AtomicBool) -> Result<(), JobError> {
+    if cancel.load(Ordering::Relaxed) {
+        return Err(JobError::Cancelled);
+    }
+    Ok(())
+}
+
+/// Tech-map `circuit` (K=4) through the design cache.
+fn mapped_design(
+    circuit: &CircuitSpec,
+    cache: &ArtifactCache,
+) -> Result<std::sync::Arc<MappedDesign>, JobError> {
+    let c = circuit.build();
+    cache
+        .design(circuit.design_key(), || tech_map(&c.netlist, &c.outputs, 4))
+        .map_err(|e| JobError::Failed(format!("tech map failed: {e:?}")))
+}
+
+/// Hex image of a truth mask: 16-digit words, most-significant word
+/// first, `:`-separated. Stable and compact; round-trippable by eye.
+fn mask_hex(mask: &WideMask) -> String {
+    let words: Vec<String> = mask.words().iter().rev().map(|w| format!("{w:016x}")).collect();
+    words.join(":")
+}
+
+/// Execute a job. Pure: the payload depends only on the spec (and, for
+/// cache-accelerated stages, on artifacts that are themselves pure), so
+/// repeated runs are byte-identical at any `PMORPH_THREADS`.
+pub fn run(spec: &JobSpec, cache: &ArtifactCache, cancel: &AtomicBool) -> Result<Value, JobError> {
+    check_cancel(cancel)?;
+    let mut payload = Value::object();
+    payload.set("type", Value::Str(spec.kind().into()));
+    match spec {
+        JobSpec::TruthSweep { circuit } => {
+            let c = circuit.build();
+            let design = mapped_design(circuit, cache)?;
+            check_cancel(cancel)?;
+            let masks =
+                pmorph_sim::vectors::exhaustive_truth(&c.netlist, &design.inputs, &c.outputs)
+                    .map_err(|e| JobError::Failed(format!("sweep failed: {e:?}")))?;
+            payload.set("circuit", Value::Str(circuit.kind.name().into()));
+            payload.set("size", Value::Num(circuit.size as f64));
+            payload.set("inputs", Value::Num(design.inputs.len() as f64));
+            let truth: Vec<Value> = c
+                .outputs
+                .iter()
+                .zip(&masks)
+                .map(|(o, m)| match m {
+                    Some(mask) => {
+                        let mut t = Value::object();
+                        t.set("net", Value::Num(o.0 as f64));
+                        t.set("ones", Value::Num(mask.count_ones() as f64));
+                        t.set("mask", Value::Str(mask_hex(mask)));
+                        t
+                    }
+                    None => Value::Null,
+                })
+                .collect();
+            payload.set("truth", Value::Array(truth));
+        }
+        JobSpec::FaultCampaign { width, height, rate, trials, seed } => {
+            let seeds: Vec<u64> = (0..*trials).map(|t| mix_seed(*seed, t as u64)).collect();
+            let maps = DefectMap::sample_sweep(*width, *height, *rate, &seeds, &SweepConfig::new());
+            check_cancel(cancel)?;
+            payload.set(
+                "fabric",
+                Value::Array(vec![Value::Num(*width as f64), Value::Num(*height as f64)]),
+            );
+            payload.set("rate", Value::Num(*rate));
+            payload.set("trials", Value::Num(*trials as f64));
+            let defects: Vec<Value> = maps.iter().map(|m| Value::Num(m.len() as f64)).collect();
+            let bad_blocks: Vec<Value> =
+                maps.iter().map(|m| Value::Num(m.bad_blocks().len() as f64)).collect();
+            let total: usize = maps.iter().map(DefectMap::len).sum();
+            payload.set("defects_per_trial", Value::Array(defects));
+            payload.set("bad_blocks_per_trial", Value::Array(bad_blocks));
+            payload.set("mean_defects", Value::Num(total as f64 / *trials as f64));
+        }
+        JobSpec::PlaceRoute { circuit, candidates, seed } => {
+            let design = mapped_design(circuit, cache)?;
+            check_cancel(cancel)?;
+            let (pnr, cp_ps, winner) = best_seeded_placement(
+                &design,
+                *candidates,
+                *seed,
+                &FpgaTiming::default(),
+                &SweepConfig::new(),
+            );
+            check_cancel(cancel)?;
+            payload.set("circuit", Value::Str(circuit.kind.name().into()));
+            payload.set("size", Value::Num(circuit.size as f64));
+            payload.set("candidates", Value::Num(*candidates as f64));
+            payload.set("winner", Value::Num(winner as f64));
+            payload.set("grid", Value::Num(pnr.grid as f64));
+            payload.set("critical_path_ps", Value::Num(cp_ps));
+            payload.set("total_wirelength", Value::Num(pnr.total_wirelength as f64));
+            payload.set("max_occupancy", Value::Num(pnr.max_occupancy as f64));
+            // The placement artifact, sorted by net id for a stable image.
+            let mut placed: Vec<(u32, usize, usize)> =
+                pnr.placement.iter().map(|(&n, &(x, y))| (n, x, y)).collect();
+            placed.sort_unstable();
+            payload.set(
+                "placement",
+                Value::Array(
+                    placed
+                        .into_iter()
+                        .map(|(n, x, y)| {
+                            Value::Array(vec![
+                                Value::Num(n as f64),
+                                Value::Num(x as f64),
+                                Value::Num(y as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            // The configuration image ("bitstream"): every LUT's inputs
+            // and truth mask, in mapped order.
+            payload.set(
+                "config_image",
+                Value::Array(
+                    design
+                        .luts
+                        .iter()
+                        .map(|l| {
+                            let mut lut = Value::object();
+                            lut.set("out", Value::Num(l.output.0 as f64));
+                            lut.set(
+                                "in",
+                                Value::Array(
+                                    l.inputs.iter().map(|n| Value::Num(n.0 as f64)).collect(),
+                                ),
+                            );
+                            lut.set("mask", Value::Str(mask_hex(&l.truth)));
+                            lut
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        JobSpec::Sleep { steps, step_ms } => {
+            let mut done = 0usize;
+            for _ in 0..*steps {
+                check_cancel(cancel)?;
+                std::thread::sleep(std::time::Duration::from_millis(*step_ms));
+                done += 1;
+            }
+            payload.set("steps_done", Value::Num(done as f64));
+        }
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmorph_util::json;
+
+    fn parse_spec(text: &str) -> Result<JobSpec, SpecError> {
+        JobSpec::parse(&json::parse(text).unwrap())
+    }
+
+    #[test]
+    fn canonicalization_is_field_order_independent() {
+        let a = parse_spec(
+            r#"{"type":"place_route","circuit":"parity_tree","size":8,"candidates":4,"seed":9}"#,
+        )
+        .unwrap();
+        let b = parse_spec(
+            r#"{"seed":9,"candidates":4,"size":8,"circuit":"parity_tree","type":"place_route"}"#,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn canonical_round_trips_through_parse() {
+        for text in [
+            r#"{"type":"truth_sweep","circuit":"parity_tree","size":6}"#,
+            r#"{"type":"fault_campaign","width":4,"height":4,"rate":0.01,"trials":3,"seed":7}"#,
+            r#"{"type":"place_route","circuit":"ripple_adder","size":4,"candidates":2,"seed":0}"#,
+            r#"{"type":"sleep","steps":1,"step_ms":0}"#,
+        ] {
+            let spec = parse_spec(text).unwrap();
+            let again = parse_spec(&spec.canonical()).unwrap();
+            assert_eq!(spec, again, "{text}");
+        }
+    }
+
+    #[test]
+    fn one_changed_byte_changes_the_key() {
+        let base = parse_spec(
+            r#"{"type":"fault_campaign","width":4,"height":4,"rate":0.01,"trials":3,"seed":7}"#,
+        )
+        .unwrap();
+        let tweaked = parse_spec(
+            r#"{"type":"fault_campaign","width":4,"height":4,"rate":0.02,"trials":3,"seed":7}"#,
+        )
+        .unwrap();
+        assert_ne!(base.cache_key(), tweaked.cache_key());
+    }
+
+    #[test]
+    fn strict_parse_rejects_bad_specs() {
+        for (text, needle) in [
+            (r#"{"circuit":"parity_tree","size":4}"#, "missing string field `type`"),
+            (r#"{"type":"mine_bitcoin"}"#, "unknown job type"),
+            (r#"{"type":"sleep","steps":1,"step_ms":0,"x":1}"#, "unknown field `x`"),
+            (r#"{"type":"truth_sweep","circuit":"nope","size":4}"#, "unknown circuit"),
+            (r#"{"type":"truth_sweep","circuit":"shift_register","size":4}"#, "sequential"),
+            (r#"{"type":"truth_sweep","circuit":"ripple_adder","size":10}"#, "20-variable"),
+            (
+                r#"{"type":"fault_campaign","width":0,"height":4,"rate":0.1,"trials":1,"seed":0}"#,
+                "width",
+            ),
+            (
+                r#"{"type":"fault_campaign","width":4,"height":4,"rate":1.5,"trials":1,"seed":0}"#,
+                "rate",
+            ),
+            (r#"{"type":"sleep","steps":1.5,"step_ms":0}"#, "non-negative integer"),
+            (r#"[1,2]"#, "must be a JSON object"),
+        ] {
+            let e = parse_spec(text).expect_err(text);
+            assert!(e.0.contains(needle), "{text}: got {e}");
+        }
+    }
+
+    #[test]
+    fn truth_sweep_matches_known_parity_table() {
+        let spec =
+            parse_spec(r#"{"type":"truth_sweep","circuit":"parity_tree","size":3}"#).unwrap();
+        let cache = ArtifactCache::new();
+        let cancel = AtomicBool::new(false);
+        let payload = run(&spec, &cache, &cancel).unwrap();
+        let truth = payload.get("truth").and_then(Value::as_array).unwrap();
+        assert_eq!(truth.len(), 1);
+        // XOR of three inputs: minterms with odd popcount → 0b10010110.
+        assert_eq!(truth[0].get("mask").and_then(Value::as_str), Some("0000000000000096"));
+        assert_eq!(truth[0].get("ones").and_then(Value::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn cancelled_flag_aborts_before_work() {
+        let spec = parse_spec(r#"{"type":"sleep","steps":100,"step_ms":10}"#).unwrap();
+        let cache = ArtifactCache::new();
+        let cancel = AtomicBool::new(true);
+        assert_eq!(run(&spec, &cache, &cancel), Err(JobError::Cancelled));
+    }
+}

@@ -1,0 +1,308 @@
+//! The HTTP server: socket accept loop, request routing, and the
+//! graceful-shutdown choreography.
+//!
+//! ## Protocol
+//!
+//! | method & path | body | does |
+//! |---|---|---|
+//! | `POST /jobs` | job spec JSON | submit; `200 {id, state, cache_hit}` or `400`/`503` |
+//! | `GET /jobs` | — | list `[{id, type, state}, …]` |
+//! | `GET /jobs/{id}` | — | full status record (state, history, cache_hit, metrics) |
+//! | `GET /jobs/{id}/result` | — | the payload, verbatim bytes; `409` until `done` |
+//! | `POST /jobs/{id}/cancel` | — | cancel; idempotent; `404` on unknown id |
+//! | `GET /metrics` | — | obs snapshot + cache stats + per-state job counts |
+//! | `POST /shutdown` | optional `{"drain": bool}` | drain and stop; responds after the drain |
+//!
+//! ## Shutdown choreography
+//!
+//! `POST /shutdown` marks the registry as draining (new submits → 503),
+//! waits for running (and, with `drain: true`, queued) jobs to finish,
+//! *then* answers the request, *then* stops the accept loop (in that
+//! order — the handler runs detached, so the response has to be on the
+//! wire before the acceptor's exit lets the process tear down). Workers
+//! exit
+//! when [`Registry::claim`] returns `None`; [`ServerHandle::join`] joins
+//! the accept thread and the pool, so when it returns the process holds
+//! no serve threads at all.
+
+use crate::http::{self, HttpError, Request};
+use crate::job::JobSpec;
+use crate::registry::{parse_job_id, Registry, ResultError, SubmitError, WorkerPool};
+use pmorph_util::json::{self, Value};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`PMORPH_SERVE_ADDR`, default `127.0.0.1:0`: an
+    /// ephemeral port — read the actual one from
+    /// [`ServerHandle::addr`] / the binary's `listening on` line).
+    pub addr: String,
+    /// Worker-pool size (`PMORPH_SERVE_WORKERS`, default
+    /// [`pmorph_util::pool::worker_count`]).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:0".into(), workers: pmorph_util::pool::worker_count() }
+    }
+}
+
+impl ServeConfig {
+    /// Read `PMORPH_SERVE_ADDR` / `PMORPH_SERVE_WORKERS`, falling back to
+    /// the defaults above on unset or unparsable values.
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Ok(addr) = std::env::var("PMORPH_SERVE_ADDR") {
+            if !addr.is_empty() {
+                cfg.addr = addr;
+            }
+        }
+        if let Some(n) =
+            std::env::var("PMORPH_SERVE_WORKERS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.workers = n.clamp(1, 256);
+        }
+        cfg
+    }
+}
+
+/// A running server: bound socket, accept thread, worker pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+    stopping: Arc<AtomicBool>,
+}
+
+/// Bind and start a server.
+pub fn serve(cfg: &ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::new(Registry::new());
+    let pool = WorkerPool::spawn(Arc::clone(&registry), cfg.workers);
+    let stopping = Arc::new(AtomicBool::new(false));
+
+    let accept_registry = Arc::clone(&registry);
+    let accept_stopping = Arc::clone(&stopping);
+    let accept = std::thread::Builder::new()
+        .name("pmorph-serve-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let registry = Arc::clone(&accept_registry);
+                let stopping = Arc::clone(&accept_stopping);
+                // One detached thread per connection: requests are short
+                // (submit/poll) and the protocol is one-request-per-
+                // connection, so a thread pool here would be ceremony.
+                let _ =
+                    std::thread::Builder::new().name("pmorph-serve-conn".into()).spawn(move || {
+                        let _ = handle_connection(&stream, &registry, &stopping);
+                    });
+            }
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle { addr, registry, accept: Some(accept), pool: Some(pool), stopping })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry behind this server (in-process tests and the bench
+    /// harness reach through to the cache and histories).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Wait until a `POST /shutdown` (or [`ServerHandle::shutdown`])
+    /// stops the server, then join every thread.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+
+    /// Programmatic shutdown (what `POST /shutdown` does, minus HTTP):
+    /// drain, stop the accept loop, join everything.
+    pub fn shutdown(self, drain_queue: bool) -> Value {
+        let summary = self.registry.shutdown(drain_queue);
+        self.stopping.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr); // unblock accept()
+        self.join();
+        summary
+    }
+}
+
+/// Route one connection's single request. Errors here are connection-level
+/// (peer vanished mid-write); protocol errors become 4xx responses.
+fn handle_connection(
+    stream: &TcpStream,
+    registry: &Arc<Registry>,
+    stopping: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    if pmorph_obs::enabled() {
+        pmorph_obs::counter!("serve.http.requests").add(1);
+    }
+    let req = match http::read_request(stream)? {
+        Ok(Some(req)) => req,
+        Ok(None) => return Ok(()), // peer connected and left (the shutdown self-poke)
+        Err(e) => {
+            let status = match e {
+                HttpError::Malformed(_) => 400,
+                HttpError::TooLarge(_) => 413,
+            };
+            return http::write_response(stream, status, &error_body(&e.to_string()));
+        }
+    };
+    route(stream, &req, registry, stopping)
+}
+
+fn error_body(msg: &str) -> Value {
+    let mut body = Value::object();
+    body.set("error", Value::Str(msg.into()));
+    body
+}
+
+fn route(
+    stream: &TcpStream,
+    req: &Request,
+    registry: &Arc<Registry>,
+    stopping: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => post_job(stream, req, registry),
+        ("GET", ["jobs"]) => http::write_response(stream, 200, &registry.list_json()),
+        ("GET", ["jobs", id]) => match parse_job_id(id).and_then(|id| registry.status_json(id)) {
+            Some(rec) => http::write_response(stream, 200, &rec),
+            None => http::write_response(stream, 404, &error_body("no such job")),
+        },
+        ("GET", ["jobs", id, "result"]) => get_result(stream, id, registry),
+        ("POST", ["jobs", id, "cancel"]) => {
+            match parse_job_id(id).and_then(|id| registry.cancel(id).map(|state| (id, state))) {
+                Some((id, state)) => {
+                    let mut body = Value::object();
+                    body.set("id", Value::Str(format!("j-{id}")));
+                    body.set("state", Value::Str(state.name().into()));
+                    http::write_response(stream, 200, &body)
+                }
+                None => http::write_response(stream, 404, &error_body("no such job")),
+            }
+        }
+        ("GET", ["metrics"]) => http::write_response(stream, 200, &metrics_json(registry)),
+        ("POST", ["shutdown"]) => post_shutdown(stream, req, registry, stopping),
+        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["shutdown"]) => {
+            http::write_response(stream, 405, &error_body("method not allowed"))
+        }
+        _ => http::write_response(stream, 404, &error_body("no such route")),
+    }
+}
+
+fn post_job(stream: &TcpStream, req: &Request, registry: &Arc<Registry>) -> io::Result<()> {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return http::write_response(stream, 400, &error_body("body is not UTF-8"));
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return http::write_response(stream, 400, &error_body(&format!("malformed JSON: {e}")))
+        }
+    };
+    let spec = match JobSpec::parse(&doc) {
+        Ok(spec) => spec,
+        Err(e) => return http::write_response(stream, 400, &error_body(&e.0)),
+    };
+    match registry.submit(spec) {
+        Ok(receipt) => {
+            let mut body = Value::object();
+            body.set("id", Value::Str(format!("j-{}", receipt.id)));
+            body.set("state", Value::Str(receipt.state.name().into()));
+            body.set("cache_hit", Value::Bool(receipt.cache_hit));
+            http::write_response(stream, 200, &body)
+        }
+        Err(SubmitError::ShuttingDown) => {
+            http::write_response(stream, 503, &error_body("server is shutting down"))
+        }
+    }
+}
+
+fn get_result(stream: &TcpStream, id: &str, registry: &Arc<Registry>) -> io::Result<()> {
+    let Some(id) = parse_job_id(id) else {
+        return http::write_response(stream, 404, &error_body("no such job"));
+    };
+    match registry.result_bytes(id) {
+        // Stored bytes verbatim: the byte-identical cached-payload
+        // contract is enforced right here.
+        Ok(bytes) => http::write_response_bytes(stream, 200, &bytes),
+        Err(ResultError::Unknown) => http::write_response(stream, 404, &error_body("no such job")),
+        Err(ResultError::NotDone(state)) => http::write_response(
+            stream,
+            409,
+            &error_body(&format!("job is {}, not done", state.name())),
+        ),
+    }
+}
+
+fn metrics_json(registry: &Arc<Registry>) -> Value {
+    let mut body = Value::object();
+    body.set("obs_enabled", Value::Bool(pmorph_obs::enabled()));
+    body.set("jobs", registry.counts_json());
+    let cache = registry.cache().stats();
+    let mut c = Value::object();
+    c.set("results", Value::Num(cache.results as f64));
+    c.set("designs", Value::Num(cache.designs as f64));
+    c.set("result_hits", Value::Num(cache.result_hits as f64));
+    c.set("result_misses", Value::Num(cache.result_misses as f64));
+    c.set("design_hits", Value::Num(cache.design_hits as f64));
+    c.set("design_misses", Value::Num(cache.design_misses as f64));
+    body.set("cache", c);
+    if pmorph_obs::enabled() {
+        body.set("metrics", pmorph_obs::snapshot().to_json());
+    }
+    body
+}
+
+fn post_shutdown(
+    stream: &TcpStream,
+    req: &Request,
+    registry: &Arc<Registry>,
+    stopping: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let drain = std::str::from_utf8(&req.body)
+        .ok()
+        .filter(|t| !t.trim().is_empty())
+        .and_then(|t| json::parse(t).ok())
+        .and_then(|doc| doc.get("drain").and_then(Value::as_bool))
+        .unwrap_or(true);
+    // Drain first (this blocks until running/queued jobs settle), then
+    // answer, then stop the accept loop — so a 200 from /shutdown means
+    // the drain has already happened. The response must go out before
+    // the acceptor is released: this handler runs on a detached thread,
+    // and once the accept loop exits, `ServerHandle::join` (and in the
+    // binary, the whole process) can finish before a later write here
+    // lands. New submits already get 503 from the drained registry, so
+    // the brief window where the acceptor is still up is harmless.
+    let summary = registry.shutdown(drain);
+    let written = http::write_response(stream, 200, &summary);
+    stopping.store(true, Ordering::Release);
+    if let Ok(local) = stream.local_addr() {
+        let _ = TcpStream::connect(local); // unblock accept()
+    }
+    written
+}

@@ -1,0 +1,146 @@
+//! Determinism + cache differential suite.
+//!
+//! The server's contract, stacked on the exec engine's: a job's payload
+//! bytes depend only on its canonical spec — not on worker-pool size,
+//! not on `PMORPH_THREADS`, and not on whether the artifact cache
+//! answered. This suite runs the same jobs cold and cached at
+//! `PMORPH_THREADS ∈ {1, 8}` (via the scoped [`EnvGuard`], in-process —
+//! `pool::worker_count()` re-reads the environment on every call, so no
+//! subprocess is needed) and demands byte equality everywhere, plus
+//! cache-key sensitivity: one changed config byte must miss.
+
+use pmorph_serve::http::{request, request_raw};
+use pmorph_serve::{serve, ServeConfig, ServerHandle};
+use pmorph_util::env::EnvGuard;
+use pmorph_util::json::Value;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// The three production job types, sized to finish fast but exercise the
+/// sharded engine for real.
+const SPECS: [&str; 3] = [
+    r#"{"type":"truth_sweep","circuit":"ripple_adder","size":5}"#,
+    r#"{"type":"fault_campaign","width":16,"height":16,"rate":0.02,"trials":24,"seed":77}"#,
+    r#"{"type":"place_route","circuit":"registered_pipeline","size":10,"candidates":6,"seed":5}"#,
+];
+
+fn start(workers: usize) -> ServerHandle {
+    serve(&ServeConfig { addr: "127.0.0.1:0".into(), workers }).expect("bind")
+}
+
+/// Submit a spec, wait for `done`, return `(cache_hit, payload bytes)`.
+fn run_job(addr: SocketAddr, spec: &str) -> (bool, Vec<u8>) {
+    let resp = request_raw(addr, "POST", "/jobs", spec.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let receipt = resp.json().unwrap();
+    let id = receipt.get("id").and_then(Value::as_str).unwrap().to_string();
+    let cache_hit = receipt.get("cache_hit").and_then(Value::as_bool).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = request(addr, "GET", &format!("/jobs/{id}"), None).unwrap().json().unwrap();
+        match status.get("state").and_then(Value::as_str).unwrap() {
+            "done" => break,
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            other => panic!("job {id} ended {other}: {status:?}"),
+        }
+    }
+    let result = request(addr, "GET", &format!("/jobs/{id}/result"), None).unwrap();
+    assert_eq!(result.status, 200);
+    (cache_hit, result.body)
+}
+
+#[test]
+fn payloads_are_byte_identical_cold_vs_cached_and_across_thread_counts() {
+    let mut per_thread_count: Vec<Vec<Vec<u8>>> = Vec::new();
+    for threads in ["1", "8"] {
+        let mut guard = EnvGuard::new();
+        guard.set("PMORPH_THREADS", threads);
+        let server = start(2);
+        let addr = server.addr();
+        let mut payloads = Vec::new();
+        for spec in SPECS {
+            let (cold_hit, cold) = run_job(addr, spec);
+            assert!(!cold_hit, "first submission must miss the cache: {spec}");
+            let (warm_hit, warm) = run_job(addr, spec);
+            assert!(warm_hit, "repeat submission must hit the cache: {spec}");
+            assert_eq!(cold, warm, "cached payload must be byte-identical: {spec}");
+            payloads.push(cold);
+        }
+        server.shutdown(true);
+        per_thread_count.push(payloads);
+        // guard drops here: environment restored before the next config
+    }
+    let [one, eight] = per_thread_count.try_into().ok().unwrap();
+    assert_eq!(one, eight, "payload bytes must not depend on PMORPH_THREADS");
+}
+
+#[test]
+fn one_changed_config_byte_misses_the_cache() {
+    let server = start(2);
+    let addr = server.addr();
+    let base = r#"{"type":"fault_campaign","width":8,"height":8,"rate":0.05,"trials":8,"seed":9}"#;
+    let (hit0, payload0) = run_job(addr, base);
+    assert!(!hit0);
+    let (hit1, _) = run_job(addr, base);
+    assert!(hit1, "identical spec hits");
+
+    // Each variant differs from `base` in exactly one field — every one
+    // must derive a fresh cache key and recompute.
+    for variant in [
+        r#"{"type":"fault_campaign","width":8,"height":8,"rate":0.05,"trials":8,"seed":8}"#,
+        r#"{"type":"fault_campaign","width":8,"height":8,"rate":0.06,"trials":8,"seed":9}"#,
+        r#"{"type":"fault_campaign","width":8,"height":8,"rate":0.05,"trials":9,"seed":9}"#,
+        r#"{"type":"fault_campaign","width":9,"height":8,"rate":0.05,"trials":8,"seed":9}"#,
+    ] {
+        let (hit, payload) = run_job(addr, variant);
+        assert!(!hit, "changed spec must miss: {variant}");
+        assert_ne!(payload, payload0, "changed spec must change the payload: {variant}");
+    }
+    server.shutdown(true);
+}
+
+#[test]
+fn cache_hits_are_field_order_independent() {
+    // The cache key is derived from the *canonical* spec, so a repeat
+    // submission with scrambled JSON field order still hits.
+    let server = start(1);
+    let addr = server.addr();
+    let (hit0, a) = run_job(
+        addr,
+        r#"{"type":"fault_campaign","width":6,"height":6,"rate":0.1,"trials":4,"seed":2}"#,
+    );
+    assert!(!hit0);
+    let (hit1, b) = run_job(
+        addr,
+        r#"{"seed":2,"trials":4,"rate":0.1,"height":6,"width":6,"type":"fault_campaign"}"#,
+    );
+    assert!(hit1, "field order must not defeat the content address");
+    assert_eq!(a, b);
+    server.shutdown(true);
+}
+
+#[test]
+fn cache_hit_status_is_reported_in_the_job_record() {
+    let server = start(1);
+    let addr = server.addr();
+    let spec = r#"{"type":"fault_campaign","width":4,"height":4,"rate":0.2,"trials":2,"seed":0}"#;
+    run_job(addr, spec);
+    let resp = request_raw(addr, "POST", "/jobs", spec.as_bytes()).unwrap();
+    let id = resp.json().unwrap().get("id").and_then(Value::as_str).unwrap().to_string();
+    let status = request(addr, "GET", &format!("/jobs/{id}"), None).unwrap().json().unwrap();
+    assert_eq!(status.get("cache_hit").and_then(Value::as_bool), Some(true));
+    // A cache-hit job never ran: its history is queued → done directly.
+    let history: Vec<&str> = status
+        .get("history")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|s| s.as_str().unwrap())
+        .collect();
+    assert_eq!(history, ["queued", "done"]);
+    server.shutdown(true);
+}

@@ -12,6 +12,8 @@
 //! | [`pool`] | `rayon` | scoped `std::thread` worker pool, order-preserving `par_map` |
 //! | [`prop`] | `proptest` | seeded property harness, fixed case counts, failing-seed reports |
 //! | [`microbench`] | `criterion` | adaptive-batch wall-clock timer with a criterion-shaped API |
+//! | [`hash`] | `fnv`/`twox-hash` | streaming FNV-1a 64 for content-addressed cache keys |
+//! | [`env`] | `temp-env` | scoped, lock-serialised environment overrides for tests |
 //!
 //! Policy (see README/DESIGN): no crate in this workspace may declare a
 //! non-path dependency; `pmorph-util` is the only allowed shared-infra
@@ -22,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod env;
+pub mod hash;
 pub mod json;
 pub mod microbench;
 pub mod pool;

@@ -28,14 +28,11 @@
 
 use crate::rng::{mix_seed, Rng, SampleRange, StdRng};
 
-/// FNV-1a hash of the property name: the stable base seed.
+/// FNV-1a hash of the property name: the stable base seed. Delegates to
+/// [`crate::hash::fnv1a_64`] so property seeds and content-addressed
+/// cache keys share one pinned hash definition.
 pub fn fnv1a(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    crate::hash::fnv1a_64(s.as_bytes())
 }
 
 /// Per-case generator handed to a property: a seeded RNG plus the case

@@ -3,13 +3,16 @@
 #
 # Runs the `kernel` bench suite (release/bench profile) with the JSON sink
 # pointed at BENCH_kernel.json in the repo root, then the `sweeps` suite
-# (sharded sweep engine vs flat references) into BENCH_sweeps.json, and
-# validates each artifact with `benchcheck` (structure, positive medians,
-# required throughput workloads, and every recorded pass/fail check —
+# (sharded sweep engine vs flat references) into BENCH_sweeps.json, then
+# the `serve` suite (job-server end-to-end throughput and artifact-cache
+# cold/hit latency over live TCP) into BENCH_serve.json, and validates
+# each artifact with `benchcheck` (structure, positive medians, required
+# throughput workloads, and every recorded pass/fail check —
 # allocation-free steady state, the bitsim/ group's ≥10× bit-parallel
 # speedup over the scalar levelized sweep and its partial-word lane
 # masking for the kernel; bit-identity and the core-scaled
-# sharded-vs-flat speedup floor for the sweeps).
+# sharded-vs-flat speedup floor for the sweeps; the ≥5× content-addressed
+# cache-hit speedup and clean drain for the serve suite).
 #
 # Budget: PMORPH_BENCH_MS per benchmark (default 300 ms). CI runs a short
 # smoke (PMORPH_BENCH_MS=20) via scripts/verify.sh; for a baseline worth
@@ -36,6 +39,7 @@ unset PMORPH_OBS PMORPH_OBS_JSON
 # so relative sink paths would land in crates/bench/ instead of the root.
 KERNEL_OUT="$(pwd)/${PMORPH_BENCH_JSON:-BENCH_kernel.json}"
 SWEEPS_OUT="$(pwd)/${PMORPH_SWEEPS_JSON:-BENCH_sweeps.json}"
+SERVE_OUT="$(pwd)/${PMORPH_SERVE_JSON:-BENCH_serve.json}"
 OBS_REGRESS_PCT="${PMORPH_OBS_REGRESS_PCT:-10}"
 
 # Stash the tracked kernel baseline before the sink overwrites it, so the
@@ -52,6 +56,9 @@ PMORPH_BENCH_JSON="$KERNEL_OUT" cargo bench -q -p pmorph-bench --bench kernel
 echo "== sweeps bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench) =="
 PMORPH_BENCH_JSON="$SWEEPS_OUT" cargo bench -q -p pmorph-bench --bench sweeps
 
+echo "== serve bench suite (budget ${PMORPH_BENCH_MS:-300} ms/bench) =="
+PMORPH_BENCH_JSON="$SERVE_OUT" cargo bench -q -p pmorph-bench --bench serve
+
 echo "== validate $KERNEL_OUT =="
 if [ -n "$KERNEL_PREV" ]; then
     echo "   (obs-overhead gate: disabled-path medians within ${OBS_REGRESS_PCT}% of previous baseline)"
@@ -66,3 +73,7 @@ echo "== validate $SWEEPS_OUT =="
 cargo run -q -p pmorph-bench --bin benchcheck -- "$SWEEPS_OUT" \
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
     sweeps/e19_faults/sharded sweeps/fig10_adder/sharded
+
+echo "== validate $SERVE_OUT =="
+cargo run -q -p pmorph-bench --bin benchcheck -- "$SERVE_OUT" \
+    serve/jobs/http_round_trip serve/cache/cold serve/cache/hit

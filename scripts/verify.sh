@@ -56,4 +56,13 @@ cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_sweeps.smoke.json 
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
     sweeps/e19_faults/sharded sweeps/fig10_adder/sharded
 
+echo "== job-server bench smoke (short budget) =="
+# End-to-end over live TCP: submit/drain throughput, artifact-cache
+# cold vs hit latency, the tracked ≥5× cache-hit speedup check, and the
+# clean-drain check, then benchcheck validation.
+PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_serve.smoke.json" \
+    cargo bench -q -p pmorph-bench --bench serve >/dev/null
+cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_serve.smoke.json \
+    serve/jobs/http_round_trip serve/cache/cold serve/cache/hit
+
 echo "verify: OK"
