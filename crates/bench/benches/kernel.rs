@@ -267,6 +267,96 @@ fn kernel_bitsim(c: &mut Criterion) {
     assert!(ok, "bit-parallel speedup {speedup:.1}x below the 10x floor");
 }
 
+/// Tracked workload 5: the 64-lane *sequential* kernel against the scalar
+/// event-driven engine on a registered 10-input XOR pipeline (four
+/// register levels, 1024 vectors × 4 clock cycles each). The lane-parallel
+/// path steps whole 64-vector words through `step_cycle`; the scalar path
+/// builds an event simulator per vector and runs the free-running clock
+/// for the same four cycles. Both must agree with the parity oracle, and
+/// the speedup floor (≥ 8×) is recorded as a pass/fail check so
+/// `benchcheck` gates it alongside the medians.
+fn kernel_seq_bitsim(c: &mut Criterion) {
+    use pmorph_exec::SweepConfig;
+    use pmorph_sim::table::WideMask;
+    use pmorph_sim::{sweep_seq_truth, SeqBitSim};
+    // 10 inputs, xor-reduced with a register bank after every tree level:
+    // 10 → 5 → 3 → 2 → 1 nets, four DFF levels deep.
+    const VARS: usize = 10;
+    const HALF: u64 = 500;
+    let mut b = NetlistBuilder::new();
+    let clk = b.net("clk");
+    b.clock(clk, HALF, 0);
+    let inputs: Vec<NetId> = (0..VARS).map(|i| b.net(format!("i{i}"))).collect();
+    let mut level = inputs.clone();
+    let mut depth = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            let d = if pair.len() == 2 { b.xor(&[pair[0], pair[1]]) } else { pair[0] };
+            let q = b.net(format!("q{depth}_{}", next.len()));
+            b.dff(d, clk, None, q);
+            next.push(q);
+        }
+        level = next;
+        depth += 1;
+    }
+    let out = level[0];
+    let nl = b.build();
+    let cycles = depth; // one capture per register level flushes the zeros
+    let proto = SeqBitSim::new(nl.clone()).unwrap();
+    let cfg = SweepConfig::new().with_workers(1); // single-lane kernel cost, no pool skew
+    let vectors = 1u64 << VARS;
+
+    let mut group = c.benchmark_group("bitsim/seq_64lane_10in_1024_vectors");
+    group.throughput(Throughput::Elements(vectors));
+    group.bench_function("seq_64lane", |bch| {
+        bch.iter(|| black_box(sweep_seq_truth(&proto, &inputs, &[out], cycles, &cfg)))
+    });
+    group.finish();
+    let seq_ns = c.last_median_ns();
+
+    let run_event = || {
+        let mut mask = WideMask::zero(VARS);
+        for v in 0..vectors {
+            let mut sim = Simulator::new(nl.clone());
+            for (i, &n) in inputs.iter().enumerate() {
+                sim.drive(n, Logic::from_bool(v >> i & 1 == 1));
+            }
+            // rising edges at HALF, 3·HALF, …: `cycles` edges have passed
+            // once t reaches 2·cycles·HALF
+            sim.run_until(2 * cycles as u64 * HALF, 100_000_000).unwrap();
+            if sim.value(out) == Logic::L1 {
+                mask.words_mut()[(v / 64) as usize] |= 1u64 << (v % 64);
+            }
+        }
+        mask
+    };
+    let mut group = c.benchmark_group("bitsim/scalar_event_registered_10in_1024_vectors");
+    group.throughput(Throughput::Elements(vectors));
+    group.bench_function("scalar_event", |bch| bch.iter(|| black_box(run_event())));
+    group.finish();
+    let event_ns = c.last_median_ns();
+
+    // the speedup claim is only worth tracking if both engines agree with
+    // each other and with the parity oracle
+    let expect = WideMask::from_fn(VARS, |m| m.count_ones() % 2 == 1);
+    let wide = sweep_seq_truth(&proto, &inputs, &[out], cycles, &cfg);
+    let event_mask = run_event();
+    let ok = c.record_check(
+        "seq_bitsim_matches_event_oracle_and_parity",
+        wide == vec![Some(expect.clone())] && event_mask == expect,
+    );
+    assert!(ok, "sequential kernel diverged from the event oracle / parity truth");
+
+    let (Some(fast), Some(slow)) = (seq_ns, event_ns) else {
+        panic!("sequential bitsim benches produced no samples");
+    };
+    let speedup = slow / fast;
+    println!("seq bitsim: {speedup:.1}x over scalar event (1024 vectors x {cycles} cycles)");
+    let ok = c.record_check("seq_bitsim_speedup_ge_8x_over_scalar_event", speedup >= 8.0);
+    assert!(ok, "sequential lane-parallel speedup {speedup:.1}x below the 8x floor");
+}
+
 /// Tracked workload 1: a 16×16 checkerboard-rotated array (256 blocks,
 /// Fig. 8 stitching) elaborated once, then repeatedly re-stimulated from
 /// its west/north perimeter. One simulator is reused across vectors via
@@ -530,6 +620,7 @@ criterion_group!(
     kernel_bitstream,
     kernel_levelized_vs_event,
     kernel_bitsim,
+    kernel_seq_bitsim,
     kernel_fabric_rotated_array,
     kernel_datapath_ripple16,
     kernel_micropipeline_deep,

@@ -1,13 +1,15 @@
 //! Tracked sweep-engine throughput suite behind `BENCH_sweeps.json`
 //! (`scripts/bench.sh`).
 //!
-//! Times the E18 variation Monte-Carlo, E19 defect-yield curves, and the
-//! Fig. 10 adder vector sweep through the sharded engine
-//! (`pmorph-exec`) against their retained flat references, and records
-//! two pass/fail checks:
+//! Times the E18 variation Monte-Carlo, E19 defect-yield curves, the
+//! Fig. 10 adder vector sweep, and the sequential 64-lane truth sweep
+//! through the sharded engine (`pmorph-exec`) against their retained
+//! flat/serial references, and records three pass/fail checks:
 //!
 //! * `sweeps_bit_identical_thread1_vs_n` — the sharded E18 study at the
 //!   host's worker count equals the flat serial study bit for bit.
+//! * `seq_sweep_bit_identical_thread1_vs_n` — the sharded sequential
+//!   pipeline sweep equals the serial run bit for bit.
 //! * `e18_sharded_speedup_vs_flat` — sharded full-scale E18 throughput
 //!   over flat-serial meets a core-scaled floor: ≥4.0× with 8+ effective
 //!   workers, ≥0.45×workers with 2–7, and ≥0.7× when only one core is
@@ -114,6 +116,58 @@ fn sweeps_fig10_adder(c: &mut Criterion) {
     group.finish();
 }
 
+/// A registered 12-input XOR pipeline (register bank after every tree
+/// level: 12 → 6 → 3 → 2 → 1, four DFF levels) for the sequential sweep
+/// workload — 4096 vectors = 64 state-plane words, enough to shard.
+fn seq_pipeline() -> (pmorph_sim::SeqBitSim, Vec<pmorph_sim::NetId>, pmorph_sim::NetId, usize) {
+    use pmorph_sim::{NetId, NetlistBuilder, SeqBitSim};
+    let mut b = NetlistBuilder::new();
+    let clk = b.net("clk");
+    b.clock(clk, 500, 0);
+    let inputs: Vec<NetId> = (0..12).map(|i| b.net(format!("i{i}"))).collect();
+    let mut level = inputs.clone();
+    let mut depth = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            let d = if pair.len() == 2 { b.xor(&[pair[0], pair[1]]) } else { pair[0] };
+            let q = b.net(format!("q{depth}_{}", next.len()));
+            b.dff(d, clk, None, q);
+            next.push(q);
+        }
+        level = next;
+        depth += 1;
+    }
+    let out = level[0];
+    (SeqBitSim::new(b.build()).unwrap(), inputs, out, depth)
+}
+
+/// Sequential truth sweep (64-lane `step_cycle` words) through the
+/// engine, sharded vs serial, plus the worker-count bit-identity check.
+fn sweeps_seq_pipeline(c: &mut Criterion) {
+    use pmorph_sim::sweep_seq_truth;
+    let (proto, inputs, out, cycles) = seq_pipeline();
+    let wide_cfg = SweepConfig::new().with_workers(sharded_workers());
+    let serial_cfg = SweepConfig::new().with_workers(1);
+    let mut group = c.benchmark_group("sweeps/seq_pipeline");
+    group.throughput(Throughput::Elements(1u64 << 12));
+    group.bench_function("sharded", |b| {
+        b.iter(|| black_box(sweep_seq_truth(&proto, &inputs, &[out], cycles, &wide_cfg)))
+    });
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(sweep_seq_truth(&proto, &inputs, &[out], cycles, &serial_cfg)))
+    });
+    group.finish();
+
+    let wide = sweep_seq_truth(&proto, &inputs, &[out], cycles, &wide_cfg);
+    let serial = sweep_seq_truth(&proto, &inputs, &[out], cycles, &serial_cfg);
+    let identical = wide == serial && wide[0].is_some();
+    assert!(
+        c.record_check("seq_sweep_bit_identical_thread1_vs_n", identical),
+        "sharded sequential sweep diverged from the serial run"
+    );
+}
+
 /// The two tracked pass/fail checks: bit-identity across worker counts
 /// and the core-scaled sharded-vs-flat speedup floor.
 fn sweeps_checks(c: &mut Criterion) {
@@ -151,6 +205,7 @@ criterion_group!(
     sweeps_e18_variation,
     sweeps_e19_faults,
     sweeps_fig10_adder,
+    sweeps_seq_pipeline,
     sweeps_checks
 );
 criterion_main!(sweeps);

@@ -26,11 +26,12 @@
 use pmorph_util::json::{self, Value};
 
 /// Workloads the kernel baseline must always contain.
-const DEFAULT_REQUIRED: [&str; 4] = [
+const DEFAULT_REQUIRED: [&str; 5] = [
     "kernel/fabric_rotated_16x16_events",
     "kernel/datapath_ripple16_events",
     "kernel/micropipeline_48x16_events",
     "bitsim/exhaustive_10in",
+    "bitsim/seq_64lane",
 ];
 
 fn fail(msg: &str) -> ! {

@@ -4,8 +4,8 @@
 use super::Experiment;
 use pmorph_core::elaborate::elaborate;
 use pmorph_core::{DefectMap, Fabric, FabricTiming, PowerModel};
-use pmorph_exec::{sweep, SweepConfig};
-use pmorph_sim::{Logic, Simulator};
+use pmorph_exec::{sweep, ShardCtx, SweepConfig};
+use pmorph_sim::{BitSim, Logic, NetId, Simulator, WideMask};
 use pmorph_synth::{lut3, map_function, mapk, TruthTable};
 use pmorph_util::pool;
 use pmorph_util::rng::Rng;
@@ -15,7 +15,9 @@ use pmorph_util::rng::StdRng;
 const DEFECT_RATES: [f64; 3] = [0.002, 0.01, 0.03];
 
 /// Is a LUT mapping functionally correct on a (possibly faulty) fabric?
-fn lut_works(fabric: &Fabric, ports: &pmorph_synth::LutPorts, tt: &TruthTable) -> bool {
+/// Event-driven reference: one full simulation per input vector — the
+/// pre-bitsim implementation, kept verbatim as the flat path's oracle.
+fn lut_works_event(fabric: &Fabric, ports: &pmorph_synth::LutPorts, tt: &TruthTable) -> bool {
     let elab = elaborate(fabric, &FabricTiming::default());
     for m in 0..(1u64 << tt.vars()) {
         let mut sim = Simulator::new(elab.netlist.clone());
@@ -32,10 +34,75 @@ fn lut_works(fabric: &Fabric, ports: &pmorph_synth::LutPorts, tt: &TruthTable) -
     true
 }
 
+/// Same check through the 64-lane bit-parallel kernel: all `2^n` vectors
+/// ride the lanes of ONE word, so the faulty netlist is levelized once
+/// and evaluated once instead of `2^n` event-driven simulations.
+/// `expected` holds `tt`'s truth bits in the low `2^n` lanes. Falls back
+/// to the event engine if the elaborated netlist won't levelize.
+fn lut_works(
+    fabric: &Fabric,
+    ports: &pmorph_synth::LutPorts,
+    tt: &TruthTable,
+    expected: u64,
+) -> bool {
+    let elab = elaborate(fabric, &FabricTiming::default());
+    let inputs: Vec<NetId> = ports.inputs.iter().map(|p| p.net(&elab)).collect();
+    let out = ports.output.net(&elab);
+    match BitSim::new(elab.netlist) {
+        Ok(mut bits) => {
+            bits.eval_word(&inputs, 0);
+            let (v, k) = bits.plane(out);
+            let lanes = WideMask::lane_mask(tt.vars());
+            k & lanes == lanes && v & lanes == expected & lanes
+        }
+        Err(_) => lut_works_event(fabric, ports, tt),
+    }
+}
+
 /// E19: defect tolerance — yield of a fixed-position mapping vs a
 /// defect-aware mapping that relocates to clean rows, across defect rates.
 pub fn study_defects() -> Experiment {
     study_defects_scaled(40)
+}
+
+/// Per-worker scratch state for the sharded E19 sweep: the LUT tile
+/// pre-mapped at each of the six candidate rows (each on its own fabric,
+/// patched and unpatched per trial — no `Fabric` clone per trial), plus
+/// the target truth bits packed into word lanes.
+struct TrialCtx {
+    tt: TruthTable,
+    expected: u64,
+    rows: Vec<(Fabric, pmorph_synth::LutPorts)>,
+}
+
+impl ShardCtx for TrialCtx {}
+
+impl TrialCtx {
+    fn new() -> Self {
+        let tt = TruthTable::parity(3);
+        let mut expected = 0u64;
+        for m in 0..(1u64 << tt.vars()) {
+            expected |= (tt.eval(m) as u64) << m;
+        }
+        let rows = (0..6)
+            .map(|y| {
+                let mut fabric = Fabric::new(4, 6);
+                let ports = lut3(&mut fabric, 0, y, &tt).unwrap();
+                (fabric, ports)
+            })
+            .collect();
+        TrialCtx { tt, expected, rows }
+    }
+
+    /// One trial against a prebuilt row: patch the defects in, check the
+    /// LUT through the bit-parallel kernel, restore the scratch fabric.
+    fn row_works(&mut self, y: usize, map: &DefectMap) -> bool {
+        let (fabric, ports) = &mut self.rows[y];
+        let patch = map.apply_to(fabric);
+        let ok = lut_works(fabric, ports, &self.tt, self.expected);
+        patch.undo(fabric);
+        ok
+    }
 }
 
 /// One E19 trial: sample the trial's defect map (historical seed formula
@@ -43,29 +110,47 @@ pub fn study_defects() -> Experiment {
 /// pinned to) and score both mapping strategies against it. Returns
 /// `(naive worked, defect-aware worked)`. Independent per trial, so the
 /// sharded and flat paths agree bit-for-bit.
-#[doc(hidden)]
-pub fn defect_trial(rate: f64, t: usize) -> (bool, bool) {
-    let tt = TruthTable::parity(3);
+fn defect_trial(ctx: &mut TrialCtx, rate: f64, t: usize) -> (bool, bool) {
     let seed = t as u64 * 7919 + (rate * 1e4) as u64;
     // a 4x6 die: six candidate rows for a 3-block LUT tile
     let map = DefectMap::sample(4, 6, rate, seed);
     // naive: always row 0
+    let naive = ctx.row_works(0, &map);
+    // defect-aware: try each row, keep the first whose *used* resources
+    // are undisturbed (a defect in an unused leaf is harmless — the
+    // point of the polymorphic fabric's sparing)
+    let mut aware = false;
+    for y in 0..6 {
+        if !map.disturbs(&ctx.rows[y].0) {
+            aware = ctx.row_works(y, &map);
+            break;
+        }
+    }
+    (naive, aware)
+}
+
+/// The pre-tentpole per-trial implementation — fresh fabrics, full
+/// `Fabric` clone in `DefectMap::apply`, event-driven vector loop —
+/// retained verbatim so the flat reference pins the sharded/bitsim path
+/// to the historical byte-identical outputs.
+#[doc(hidden)]
+pub fn defect_trial_event(rate: f64, t: usize) -> (bool, bool) {
+    let tt = TruthTable::parity(3);
+    let seed = t as u64 * 7919 + (rate * 1e4) as u64;
+    let map = DefectMap::sample(4, 6, rate, seed);
     let naive = {
         let mut fabric = Fabric::new(4, 6);
         let ports = lut3(&mut fabric, 0, 0, &tt).unwrap();
         let faulty = map.apply(&fabric);
-        lut_works(&faulty, &ports, &tt)
+        lut_works_event(&faulty, &ports, &tt)
     };
-    // defect-aware: try each row, keep the first whose *used* resources
-    // are undisturbed (a defect in an unused leaf is harmless — the
-    // point of the polymorphic fabric's sparing)
     let mut aware = false;
     for y in 0..6 {
         let mut fabric = Fabric::new(4, 6);
         let ports = lut3(&mut fabric, 0, y, &tt).unwrap();
         if !map.disturbs(&fabric) {
             let faulty = map.apply(&fabric);
-            aware = lut_works(&faulty, &ports, &tt);
+            aware = lut_works_event(&faulty, &ports, &tt);
             break;
         }
     }
@@ -74,27 +159,32 @@ pub fn defect_trial(rate: f64, t: usize) -> (bool, bool) {
 
 /// E19 yield curves on the sharded sweep engine: for each defect rate,
 /// `(rate, naive successes, defect-aware successes)` over `trials`
-/// independent trials.
+/// independent trials. Each worker owns one [`TrialCtx`] of pre-mapped
+/// scratch fabrics; trials patch → levelize → single-word evaluate →
+/// unpatch, so the per-trial cost is one kernel pass, not `2^n` event
+/// simulations plus a fabric clone.
 #[doc(hidden)]
 pub fn defect_yield_curves(trials: usize, cfg: &SweepConfig) -> Vec<(f64, usize, usize)> {
     DEFECT_RATES
         .iter()
         .map(|&rate| {
-            let per_trial = sweep(trials, cfg, || (), |_, item| defect_trial(rate, item.index));
+            let per_trial =
+                sweep(trials, cfg, TrialCtx::new, |ctx, item| defect_trial(ctx, rate, item.index));
             reduce_yields(rate, &per_trial.results)
         })
         .collect()
 }
 
 /// The pre-exec flat path (`pool::par_map_range` at an explicit worker
-/// count), retained as the differential-test reference for
-/// [`defect_yield_curves`].
+/// count) over the pre-tentpole event-driven trial, retained as the
+/// differential-test reference for [`defect_yield_curves`].
 #[doc(hidden)]
 pub fn defect_yield_curves_flat(trials: usize, workers: usize) -> Vec<(f64, usize, usize)> {
     DEFECT_RATES
         .iter()
         .map(|&rate| {
-            let per_trial = pool::par_map_range_with(trials, workers, |t| defect_trial(rate, t));
+            let per_trial =
+                pool::par_map_range_with(trials, workers, |t| defect_trial_event(rate, t));
             reduce_yields(rate, &per_trial)
         })
         .collect()

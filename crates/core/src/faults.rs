@@ -159,20 +159,36 @@ impl DefectMap {
     /// configuration that will actually be elaborated.
     pub fn apply(&self, fabric: &Fabric) -> Fabric {
         let mut faulty = fabric.clone();
+        self.apply_to(&mut faulty);
+        faulty
+    }
+
+    /// Apply the defects to `fabric` **in place**, returning a patch that
+    /// [`DefectPatch::undo`] restores exactly. This is the allocation-free
+    /// shape for fault campaigns: one scratch fabric per worker, patched
+    /// and unpatched per trial, instead of a full `Fabric` clone per trial.
+    pub fn apply_to(&self, fabric: &mut Fabric) -> DefectPatch {
+        let mut saved = Vec::with_capacity(self.defects.len());
         for d in &self.defects {
             match *d {
                 Defect::CrosspointStuckOff { x, y, term, col } => {
-                    faulty.block_mut(x, y).crosspoints[term][col] = CellMode::StuckOff;
+                    let cell = &mut fabric.block_mut(x, y).crosspoints[term][col];
+                    saved.push(Site::Crosspoint { x, y, term, col, prev: *cell });
+                    *cell = CellMode::StuckOff;
                 }
                 Defect::CrosspointStuckOn { x, y, term, col } => {
-                    faulty.block_mut(x, y).crosspoints[term][col] = CellMode::StuckOn;
+                    let cell = &mut fabric.block_mut(x, y).crosspoints[term][col];
+                    saved.push(Site::Crosspoint { x, y, term, col, prev: *cell });
+                    *cell = CellMode::StuckOn;
                 }
                 Defect::DriverDead { x, y, term } => {
-                    faulty.block_mut(x, y).drivers[term] = OutMode::Off;
+                    let drv = &mut fabric.block_mut(x, y).drivers[term];
+                    saved.push(Site::Driver { x, y, term, prev: *drv });
+                    *drv = OutMode::Off;
                 }
             }
         }
-        faulty
+        DefectPatch { saved }
     }
 
     /// Does the defect map actually disturb this configuration's
@@ -191,6 +207,50 @@ impl DefectMap {
             }
             Defect::DriverDead { x, y, term } => fabric.block(x, y).drivers[term] != OutMode::Off,
         })
+    }
+}
+
+/// One patched fabric site with its pre-defect value.
+#[derive(Copy, Clone, Debug)]
+enum Site {
+    Crosspoint { x: usize, y: usize, term: usize, col: usize, prev: CellMode },
+    Driver { x: usize, y: usize, term: usize, prev: OutMode },
+}
+
+/// The reverse side of [`DefectMap::apply_to`]: every site the defect map
+/// overwrote, with its original value. `undo` restores the fabric to its
+/// exact pre-patch configuration, so a per-worker scratch fabric can be
+/// reused across trials (patch → evaluate → undo) with no cloning.
+#[derive(Clone, Debug, Default)]
+pub struct DefectPatch {
+    saved: Vec<Site>,
+}
+
+impl DefectPatch {
+    /// Number of patched sites.
+    pub fn len(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// No sites patched?
+    pub fn is_empty(&self) -> bool {
+        self.saved.is_empty()
+    }
+
+    /// Restore every patched site to its pre-defect value. Sites are
+    /// restored in reverse patch order, so overlapping writes (two defects
+    /// on one site) unwind correctly.
+    pub fn undo(&self, fabric: &mut Fabric) {
+        for site in self.saved.iter().rev() {
+            match *site {
+                Site::Crosspoint { x, y, term, col, prev } => {
+                    fabric.block_mut(x, y).crosspoints[term][col] = prev;
+                }
+                Site::Driver { x, y, term, prev } => {
+                    fabric.block_mut(x, y).drivers[term] = prev;
+                }
+            }
+        }
     }
 }
 
@@ -238,6 +298,43 @@ mod tests {
         assert!(map.disturbs(&fabric));
         let faulty = map.apply(&fabric);
         assert_eq!(faulty.block(0, 0).crosspoints[0][0], CellMode::StuckOff);
+    }
+
+    #[test]
+    fn apply_to_then_undo_is_identity_and_matches_apply() {
+        let mut fabric = Fabric::new(4, 4);
+        for y in 0..4 {
+            let b = fabric.block_mut(1, y);
+            *b = BlockConfig::flowing(Edge::West, Edge::East);
+            b.set_term(0, &[0, 1]);
+            b.drivers[0] = OutMode::Buf;
+        }
+        let pristine = fabric.clone();
+        for seed in 0..20u64 {
+            let map = DefectMap::sample(4, 4, 0.15, seed);
+            let cloned = map.apply(&fabric);
+            let patch = map.apply_to(&mut fabric);
+            assert_eq!(patch.len(), map.len());
+            assert_eq!(fabric, cloned, "in-place patch ≡ clone-and-apply");
+            patch.undo(&mut fabric);
+            assert_eq!(fabric, pristine, "undo restores exactly (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn overlapping_writes_unwind_in_reverse_order() {
+        // stuck-off and stuck-on defects on the SAME crosspoint: apply
+        // order is BTreeSet order, undo must restore the original value.
+        let mut fabric = Fabric::new(1, 1);
+        fabric.block_mut(0, 0).crosspoints[2][3] = CellMode::Active;
+        let pristine = fabric.clone();
+        let mut map = DefectMap::default();
+        map.defects.insert(Defect::CrosspointStuckOff { x: 0, y: 0, term: 2, col: 3 });
+        map.defects.insert(Defect::CrosspointStuckOn { x: 0, y: 0, term: 2, col: 3 });
+        let patch = map.apply_to(&mut fabric);
+        assert_eq!(patch.len(), 2);
+        patch.undo(&mut fabric);
+        assert_eq!(fabric, pristine);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use array::Fabric;
 pub use config::{BlockConfig, Edge, InputSource, OutMode, OutputDest, LANES};
 pub use delay::FabricTiming;
 pub use elaborate::Elaborated;
-pub use faults::{Defect, DefectMap};
+pub use faults::{Defect, DefectMap, DefectPatch};
 pub use power::{PowerModel, PowerReport};
 
 pub use pmorph_device::{CellMode, Trit};

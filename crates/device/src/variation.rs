@@ -102,6 +102,34 @@ fn sample_threshold(
 /// [`run_study`] under an explicit sweep configuration (worker count,
 /// shard size) — bit-identical to the default and to the flat reference
 /// at any setting.
+/// One shard item of the word-sharded study: up to 64 consecutive
+/// samples' thresholds (index order within the word) plus a per-lane
+/// failure mask — the sampled parameter only gates pass/fail bits, so
+/// the reduction counts failures with popcounts instead of re-testing.
+fn sample_word(
+    sigma: f64,
+    nominal: &ConfigurableInverter,
+    seed: u64,
+    base: usize,
+    lanes: usize,
+    lo_frac: f64,
+    hi_frac: f64,
+) -> (Vec<Option<f64>>, u64) {
+    let mut thresholds = Vec::with_capacity(lanes);
+    let mut fail = 0u64;
+    for l in 0..lanes {
+        let t = sample_threshold(sigma, nominal, seed, base + l);
+        // exact same predicate as the flat reference's reduce_study
+        let bad = match t {
+            None => true,
+            Some(v) => v < lo_frac * nominal.vdd || v > hi_frac * nominal.vdd,
+        };
+        fail |= (bad as u64) << l;
+        thresholds.push(t);
+    }
+    (thresholds, fail)
+}
+
 pub fn run_study_cfg(
     model: VariationModel,
     samples: usize,
@@ -113,9 +141,22 @@ pub fn run_study_cfg(
     let nominal = ConfigurableInverter::default();
     let sigma = model.sigma_total();
     let t0 = pmorph_obs::enabled().then(std::time::Instant::now);
-    let thresholds =
-        sweep(samples, cfg, || (), |_, item| sample_threshold(sigma, &nominal, seed, item.index))
-            .results;
+    // whole words as shard items: 64 Monte-Carlo samples per item, drawn
+    // serially in index order within the word, so the flattened threshold
+    // stream — and therefore every float in the summary — is bit-identical
+    // to the per-sample flat loop at any worker count or shard geometry.
+    let words = samples.div_ceil(64);
+    let word_results = sweep(
+        words,
+        cfg,
+        || (),
+        |_, item| {
+            let base = item.index * 64;
+            let lanes = (samples - base).min(64);
+            sample_word(sigma, &nominal, seed, base, lanes, lo_frac, hi_frac)
+        },
+    )
+    .results;
     if let Some(t0) = t0 {
         let ns = t0.elapsed().as_nanos() as u64;
         pmorph_obs::counter!("device.variation.samples").add(samples as u64);
@@ -125,7 +166,9 @@ pub fn run_study_cfg(
                 .set(samples as f64 * 1.0e9 / ns as f64);
         }
     }
-    reduce_study(samples, &nominal, &thresholds, lo_frac, hi_frac)
+    let failures: usize = word_results.iter().map(|(_, f)| f.count_ones() as usize).sum();
+    let ok: Vec<f64> = word_results.iter().flat_map(|(t, _)| t.iter().filter_map(|v| *v)).collect();
+    summarize(samples, &ok, failures)
 }
 
 /// The pre-exec flat path (`pool::par_map_range` at an explicit worker
@@ -163,6 +206,12 @@ fn reduce_study(
             Some(v) => *v < lo_frac * nominal.vdd || *v > hi_frac * nominal.vdd,
         })
         .count();
+    summarize(samples, &ok, failures)
+}
+
+/// Shared float tail of both reductions: identical expressions over an
+/// identical index-ordered `ok` stream ⇒ identical bits.
+fn summarize(samples: usize, ok: &[f64], failures: usize) -> VariationStudy {
     let mean = ok.iter().sum::<f64>() / ok.len().max(1) as f64;
     let var = ok.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / ok.len().max(1) as f64;
     VariationStudy {

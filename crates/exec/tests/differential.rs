@@ -83,16 +83,25 @@ fn env_derived_worker_count_is_differential_too() {
     // The env-default path (`SweepConfig::new()` with no pinned workers
     // resolves `PMORPH_THREADS` at sweep time) covered in-process: the
     // scoped EnvGuard swaps the variable per run and restores it after,
-    // no subprocess per thread count. Results must match the pinned-
-    // worker matrix's flat reference bit-for-bit.
+    // no subprocess per thread count. All three converted workloads —
+    // E18, E19, fig10 — must match their pinned flat references
+    // bit-for-bit under every env-derived worker count.
     let samples = 40;
     let model = VariationModel::doped_bulk();
-    let flat = run_study_flat(model, samples, 42, 0.4, 0.6, 1);
+    let e18_flat = run_study_flat(model, samples, 42, 0.4, 0.6, 1);
+    let trials = 6;
+    let e19_flat = defect_yield_curves_flat(trials, 1);
+    let vectors = fig10_adder_vectors(20);
+    let fig10_flat = fig10_adder_check_flat(&vectors);
     for threads in ["1", "3", "8"] {
         let mut guard = EnvGuard::new();
         guard.set("PMORPH_THREADS", threads);
-        let got = run_study_cfg(model, samples, 42, 0.4, 0.6, &SweepConfig::new());
-        assert_eq!(got, flat, "env-derived run diverged at PMORPH_THREADS={threads}");
+        let e18 = run_study_cfg(model, samples, 42, 0.4, 0.6, &SweepConfig::new());
+        assert_eq!(e18, e18_flat, "E18 env-derived run diverged at PMORPH_THREADS={threads}");
+        let e19 = defect_yield_curves(trials, &SweepConfig::new());
+        assert_eq!(e19, e19_flat, "E19 env-derived run diverged at PMORPH_THREADS={threads}");
+        let f10 = fig10_adder_check(&vectors, &SweepConfig::new());
+        assert_eq!(f10, fig10_flat, "fig10 env-derived run diverged at PMORPH_THREADS={threads}");
     }
 }
 

@@ -85,6 +85,13 @@ impl CircuitKind {
     fn is_combinational(&self) -> bool {
         matches!(self, CircuitKind::RippleAdder | CircuitKind::ParityTree)
     }
+
+    /// Inputs a `seq_sweep` actually enumerates: the primary inputs minus
+    /// the (virtualized) clock — both sequential generators have exactly
+    /// one clock net.
+    fn sweep_input_count(&self, size: usize) -> usize {
+        self.input_count(size) - !self.is_combinational() as usize
+    }
 }
 
 /// A circuit reference inside a job spec.
@@ -123,6 +130,18 @@ pub enum JobSpec {
     TruthSweep {
         /// Circuit to characterize.
         circuit: CircuitSpec,
+    },
+    /// Cycle-bounded exhaustive sweep of a *sequential* circuit on the
+    /// 64-lane sequential kernel: each input assignment is held constant
+    /// for `cycles` virtual clock edges from the power-on state, and the
+    /// settled output planes become the truth masks. A `truth_sweep`
+    /// naming a sequential circuit parses into this job with the default
+    /// cycle bound.
+    SeqSweep {
+        /// Circuit to characterize.
+        circuit: CircuitSpec,
+        /// Virtual clock edges per input assignment.
+        cycles: usize,
     },
     /// Defect-map sampling campaign over a `width × height` fabric.
     FaultCampaign {
@@ -236,20 +255,39 @@ impl JobSpec {
             "truth_sweep" => {
                 check_fields(doc, &["type", "circuit", "size"])?;
                 let circuit = get_circuit(doc)?;
-                if !circuit.kind.is_combinational() {
-                    return Err(err(format!(
-                        "truth_sweep requires a combinational circuit, `{}` is sequential",
-                        circuit.kind.name()
-                    )));
-                }
-                let inputs = circuit.kind.input_count(circuit.size);
+                let inputs = circuit.kind.sweep_input_count(circuit.size);
                 if inputs > WideMask::MAX_VARS {
                     return Err(err(format!(
                         "truth_sweep over {inputs} inputs exceeds the {}-variable sweep limit",
                         WideMask::MAX_VARS
                     )));
                 }
-                Ok(JobSpec::TruthSweep { circuit })
+                if circuit.kind.is_combinational() {
+                    Ok(JobSpec::TruthSweep { circuit })
+                } else {
+                    // sequential circuits characterize on the sequential
+                    // kernel with the default cycle bound: enough edges
+                    // for any state to flush the longest register chain
+                    // (size registers) under held inputs, plus margin
+                    Ok(JobSpec::SeqSweep { circuit, cycles: circuit.size + 2 })
+                }
+            }
+            "seq_sweep" => {
+                check_fields(doc, &["type", "circuit", "size", "cycles"])?;
+                let circuit = get_circuit(doc)?;
+                let inputs = circuit.kind.sweep_input_count(circuit.size);
+                if inputs > WideMask::MAX_VARS {
+                    return Err(err(format!(
+                        "seq_sweep over {inputs} inputs exceeds the {}-variable sweep limit",
+                        WideMask::MAX_VARS
+                    )));
+                }
+                let cycles = if doc.get("cycles").is_some() {
+                    get_int(doc, "cycles", 1, 10_000)? as usize
+                } else {
+                    circuit.size + 2
+                };
+                Ok(JobSpec::SeqSweep { circuit, cycles })
             }
             "fault_campaign" => {
                 check_fields(doc, &["type", "width", "height", "rate", "trials", "seed"])?;
@@ -277,8 +315,8 @@ impl JobSpec {
                 })
             }
             other => Err(err(format!(
-                "unknown job type `{other}` (one of: truth_sweep, fault_campaign, \
-                 place_route, sleep)"
+                "unknown job type `{other}` (one of: truth_sweep, seq_sweep, \
+                 fault_campaign, place_route, sleep)"
             ))),
         }
     }
@@ -287,6 +325,7 @@ impl JobSpec {
     pub fn kind(&self) -> &'static str {
         match self {
             JobSpec::TruthSweep { .. } => "truth_sweep",
+            JobSpec::SeqSweep { .. } => "seq_sweep",
             JobSpec::FaultCampaign { .. } => "fault_campaign",
             JobSpec::PlaceRoute { .. } => "place_route",
             JobSpec::Sleep { .. } => "sleep",
@@ -303,6 +342,11 @@ impl JobSpec {
             JobSpec::TruthSweep { circuit } => {
                 obj.set("circuit", Value::Str(circuit.kind.name().into()));
                 obj.set("size", Value::Num(circuit.size as f64));
+            }
+            JobSpec::SeqSweep { circuit, cycles } => {
+                obj.set("circuit", Value::Str(circuit.kind.name().into()));
+                obj.set("size", Value::Num(circuit.size as f64));
+                obj.set("cycles", Value::Num(*cycles as f64));
             }
             JobSpec::FaultCampaign { width, height, rate, trials, seed } => {
                 obj.set("width", Value::Num(*width as f64));
@@ -388,6 +432,45 @@ pub fn run(spec: &JobSpec, cache: &ArtifactCache, cancel: &AtomicBool) -> Result
             payload.set("circuit", Value::Str(circuit.kind.name().into()));
             payload.set("size", Value::Num(circuit.size as f64));
             payload.set("inputs", Value::Num(design.inputs.len() as f64));
+            let truth: Vec<Value> = c
+                .outputs
+                .iter()
+                .zip(&masks)
+                .map(|(o, m)| match m {
+                    Some(mask) => {
+                        let mut t = Value::object();
+                        t.set("net", Value::Num(o.0 as f64));
+                        t.set("ones", Value::Num(mask.count_ones() as f64));
+                        t.set("mask", Value::Str(mask_hex(mask)));
+                        t
+                    }
+                    None => Value::Null,
+                })
+                .collect();
+            payload.set("truth", Value::Array(truth));
+        }
+        JobSpec::SeqSweep { circuit, cycles } => {
+            let c = circuit.build();
+            // SeqBitSim::new rejects anything outside its model with a
+            // LevelizeError whose Display names the offending component
+            // kind (`latch`, `tribuf`, …) or control net — that message,
+            // not just the circuit name, is the structured failure.
+            let seq = pmorph_sim::SeqBitSim::new(c.netlist.clone())
+                .map_err(|e| JobError::Failed(format!("sequential levelization failed: {e}")))?;
+            check_cancel(cancel)?;
+            let inputs = seq.input_nets().to_vec();
+            let masks = pmorph_sim::sweep_seq_truth(
+                &seq,
+                &inputs,
+                &c.outputs,
+                *cycles,
+                &SweepConfig::new(),
+            );
+            payload.set("circuit", Value::Str(circuit.kind.name().into()));
+            payload.set("size", Value::Num(circuit.size as f64));
+            payload.set("cycles", Value::Num(*cycles as f64));
+            payload.set("inputs", Value::Num(inputs.len() as f64));
+            payload.set("registers", Value::Num(seq.dff_count() as f64));
             let truth: Vec<Value> = c
                 .outputs
                 .iter()
@@ -526,6 +609,8 @@ mod tests {
     fn canonical_round_trips_through_parse() {
         for text in [
             r#"{"type":"truth_sweep","circuit":"parity_tree","size":6}"#,
+            r#"{"type":"seq_sweep","circuit":"shift_register","size":4,"cycles":9}"#,
+            r#"{"type":"seq_sweep","circuit":"registered_pipeline","size":3}"#,
             r#"{"type":"fault_campaign","width":4,"height":4,"rate":0.01,"trials":3,"seed":7}"#,
             r#"{"type":"place_route","circuit":"ripple_adder","size":4,"candidates":2,"seed":0}"#,
             r#"{"type":"sleep","steps":1,"step_ms":0}"#,
@@ -556,8 +641,8 @@ mod tests {
             (r#"{"type":"mine_bitcoin"}"#, "unknown job type"),
             (r#"{"type":"sleep","steps":1,"step_ms":0,"x":1}"#, "unknown field `x`"),
             (r#"{"type":"truth_sweep","circuit":"nope","size":4}"#, "unknown circuit"),
-            (r#"{"type":"truth_sweep","circuit":"shift_register","size":4}"#, "sequential"),
             (r#"{"type":"truth_sweep","circuit":"ripple_adder","size":10}"#, "20-variable"),
+            (r#"{"type":"seq_sweep","circuit":"shift_register","size":4,"cycles":0}"#, "cycles"),
             (
                 r#"{"type":"fault_campaign","width":0,"height":4,"rate":0.1,"trials":1,"seed":0}"#,
                 "width",
@@ -586,6 +671,51 @@ mod tests {
         // XOR of three inputs: minterms with odd popcount → 0b10010110.
         assert_eq!(truth[0].get("mask").and_then(Value::as_str), Some("0000000000000096"));
         assert_eq!(truth[0].get("ones").and_then(Value::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn sequential_truth_sweep_runs_on_the_sequential_kernel() {
+        // the spec shape that used to 400 with "requires a combinational
+        // circuit" now characterizes through SeqBitSim with the default
+        // cycle bound (size + 2)
+        let spec =
+            parse_spec(r#"{"type":"truth_sweep","circuit":"shift_register","size":4}"#).unwrap();
+        assert_eq!(spec.kind(), "seq_sweep");
+        assert!(spec.cacheable());
+        let again = parse_spec(&spec.canonical()).unwrap();
+        assert_eq!(spec, again, "canonical form round-trips");
+        let cache = ArtifactCache::new();
+        let cancel = AtomicBool::new(false);
+        let payload = run(&spec, &cache, &cancel).unwrap();
+        assert_eq!(payload.get("cycles").and_then(Value::as_f64), Some(6.0));
+        assert_eq!(payload.get("registers").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(payload.get("inputs").and_then(Value::as_f64), Some(1.0));
+        // after size+2 cycles of held din, every tap equals din: the
+        // 1-variable identity table (lane 1 set) on all four outputs
+        let truth = payload.get("truth").and_then(Value::as_array).unwrap();
+        assert_eq!(truth.len(), 4);
+        for t in truth {
+            assert_eq!(t.get("mask").and_then(Value::as_str), Some("0000000000000002"));
+            assert_eq!(t.get("ones").and_then(Value::as_f64), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn seq_sweep_cycle_bound_is_part_of_the_content_address() {
+        let a =
+            parse_spec(r#"{"type":"seq_sweep","circuit":"shift_register","size":4,"cycles":2}"#)
+                .unwrap();
+        let b =
+            parse_spec(r#"{"type":"seq_sweep","circuit":"shift_register","size":4,"cycles":3}"#)
+                .unwrap();
+        assert_ne!(a.cache_key(), b.cache_key());
+        // too few cycles for the last tap to see din: output still the
+        // power-on zeros ⇒ all-zero mask, distinct payload
+        let cache = ArtifactCache::new();
+        let cancel = AtomicBool::new(false);
+        let short = run(&a, &cache, &cancel).unwrap();
+        let truth = short.get("truth").and_then(Value::as_array).unwrap();
+        assert_eq!(truth[3].get("ones").and_then(Value::as_f64), Some(0.0));
     }
 
     #[test]

@@ -15,19 +15,30 @@ use crate::netlist::{Component, NetId, Netlist};
 pub enum LevelizeError {
     /// The netlist has a combinational cycle through this net.
     Cycle(NetId),
-    /// A component kind with state or self-scheduling is present.
+    /// A component kind with state or self-scheduling is present; carries
+    /// the offending kind's name (`dff`, `latch`, `tribuf`, …).
     NotCombinational(&'static str),
     /// A net has more than one driver (tri-state buses need the full
     /// kernel's resolution semantics).
     MultipleDrivers(NetId),
+    /// A flip-flop control net (`"clock"` or `"reset"`) is driven by
+    /// logic. The sequential bit-parallel kernel models one virtual
+    /// common clock edge per `step_cycle`, so gated clocks and computed
+    /// resets need the full event-driven engine.
+    DrivenControl(&'static str, NetId),
 }
 
 impl std::fmt::Display for LevelizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LevelizeError::Cycle(n) => write!(f, "combinational cycle through net {n:?}"),
-            LevelizeError::NotCombinational(k) => write!(f, "stateful component: {k}"),
+            LevelizeError::NotCombinational(k) => {
+                write!(f, "not combinational: component kind `{k}`")
+            }
             LevelizeError::MultipleDrivers(n) => write!(f, "net {n:?} has multiple drivers"),
+            LevelizeError::DrivenControl(what, n) => {
+                write!(f, "dff {what} net {n:?} is driven by logic (must be a primary input)")
+            }
         }
     }
 }
@@ -62,7 +73,7 @@ impl Levelized {
                 | Component::Inv { .. }
                 | Component::Buf { .. }
                 | Component::Const { .. } => {}
-                _ => return Err(LevelizeError::NotCombinational("stateful/generator")),
+                other => return Err(LevelizeError::NotCombinational(other.kind_name())),
             }
         }
         for (i, net) in netlist.nets.iter().enumerate() {

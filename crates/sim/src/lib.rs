@@ -38,7 +38,7 @@ pub mod timing;
 pub mod vcd;
 pub mod vectors;
 
-pub use bitsim::BitSim;
+pub use bitsim::{sweep_seq_truth, BitSim, SeqBitSim, SeqState};
 pub use builder::NetlistBuilder;
 pub use engine::{SimError, SimSnapshot, SimStats, Simulator};
 pub use levelized::{LevelizeError, Levelized};

@@ -156,6 +156,28 @@ pub struct CompState {
 }
 
 impl Component {
+    /// The component kind's display name (used in diagnostics, e.g. the
+    /// levelizer's "not combinational" error names the offending kind).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Component::Nand { .. } => "nand",
+            Component::Nor { .. } => "nor",
+            Component::And { .. } => "and",
+            Component::Or { .. } => "or",
+            Component::Xor { .. } => "xor",
+            Component::Inv { .. } => "inv",
+            Component::Buf { .. } => "buf",
+            Component::TriBuf { .. } => "tribuf",
+            Component::Const { .. } => "const",
+            Component::CElement { .. } => "celement",
+            Component::Dff { .. } => "dff",
+            Component::Latch { .. } => "latch",
+            Component::Clock { .. } => "clock",
+            Component::Stimulus { .. } => "stimulus",
+            Component::Mutex { .. } => "mutex",
+        }
+    }
+
     /// Nets read by this component (borrowed; no allocation).
     pub fn inputs(&self) -> InputIter<'_> {
         match self {

@@ -113,6 +113,84 @@ pub fn random_combinational(g: &mut Gen, max_inputs: usize) -> (Netlist, Vec<Net
     (b.build(), inputs, outputs)
 }
 
+/// A random *registered* (clocked-sequential) circuit from
+/// [`random_registered`], with everything a differential harness needs
+/// to drive both the event-driven engine and the sequential bit-parallel
+/// kernel over the same netlist.
+pub struct RegisteredCircuit {
+    pub netlist: Netlist,
+    /// Data primary inputs (excludes `reset_n` and the clock).
+    pub inputs: Vec<NetId>,
+    /// Shared active-low reset input, if any flip-flop has one.
+    pub reset_n: Option<NetId>,
+    /// The clock net (driven by a free-running `Clock` generator,
+    /// phase 0 — first rising edge at `half_period`).
+    pub clk: NetId,
+    pub half_period: u64,
+    /// Flip-flop Q nets, in instantiation order.
+    pub registers: Vec<NetId>,
+    /// 1–3 observation nets sampled from the gate/register pool.
+    pub outputs: Vec<NetId>,
+}
+
+/// Build a random registered circuit: 1–3 data inputs, 1–4 D flip-flops
+/// (optionally sharing one active-low reset input), and an acyclic
+/// combinational DAG over the inputs and register outputs — so register-
+/// to-register, input-to-register, and register-to-output paths all
+/// occur. The clock generator's half-period is occasionally beyond the
+/// 256-slot timing wheel (events spill into the overflow heap). Accepted
+/// by both `Simulator` and `SeqBitSim`.
+pub fn random_registered(g: &mut Gen) -> RegisteredCircuit {
+    let mut b = NetlistBuilder::new().with_default_delay(g.in_range(1u64..=9));
+    let n_in = g.in_range(1usize..=3);
+    let inputs: Vec<NetId> = (0..n_in).map(|i| b.net(format!("in{i}"))).collect();
+    let clk = b.net("clk");
+    let half = if g.bool() { g.in_range(300u64..=900) } else { g.in_range(2100u64..=6000) };
+    b.clock(clk, half, 0);
+    let reset_n = if g.bool() { Some(b.net("rst_n")) } else { None };
+
+    // Pre-allocate the register outputs so gates can read them before the
+    // flip-flops are instantiated (register feedback stays sequential —
+    // the combinational part is still a DAG).
+    let n_ff = g.in_range(1usize..=4);
+    let registers: Vec<NetId> = (0..n_ff).map(|i| b.net(format!("q{i}"))).collect();
+    let mut pool = inputs.clone();
+    pool.extend(&registers);
+
+    let n_gates = g.in_range(3usize..=16);
+    for _ in 0..n_gates {
+        let x = pool[g.in_range(0..pool.len())];
+        let y = pool[g.in_range(0..pool.len())];
+        let out = match g.in_range(0u32..5) {
+            0 => b.nand(&[x, y]),
+            1 => b.or(&[x, y]),
+            2 => b.xor(&[x, y]),
+            3 => b.and(&[x, y]),
+            _ => b.inv(x),
+        };
+        pool.push(out);
+    }
+
+    for (i, &q) in registers.iter().enumerate() {
+        let d = pool[g.in_range(0..pool.len())];
+        // each flip-flop independently opts into the shared reset
+        let r = reset_n.filter(|_| i == 0 || g.bool());
+        b.dff(d, clk, r, q);
+    }
+
+    let n_out = g.in_range(1usize..=3);
+    let outputs: Vec<NetId> = (0..n_out).map(|_| pool[g.in_range(0..pool.len())]).collect();
+    RegisteredCircuit {
+        netlist: b.build(),
+        inputs,
+        reset_n,
+        clk,
+        half_period: half,
+        registers,
+        outputs,
+    }
+}
+
 /// A random stimulus schedule over the input nets: `(time, net, value)`
 /// with strictly increasing per-net times (drive_at requirement is only
 /// time >= now; every consumer must receive the identical list).

@@ -72,7 +72,8 @@ fi
 echo "== validate $SWEEPS_OUT =="
 cargo run -q -p pmorph-bench --bin benchcheck -- "$SWEEPS_OUT" \
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
-    sweeps/e19_faults/sharded sweeps/fig10_adder/sharded
+    sweeps/e19_faults/sharded sweeps/fig10_adder/sharded \
+    sweeps/seq_pipeline/sharded
 
 echo "== validate $SERVE_OUT =="
 cargo run -q -p pmorph-bench --bin benchcheck -- "$SERVE_OUT" \

@@ -54,7 +54,8 @@ PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_sweeps.smoke.json" \
     cargo bench -q -p pmorph-bench --bench sweeps >/dev/null
 cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_sweeps.smoke.json \
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
-    sweeps/e19_faults/sharded sweeps/fig10_adder/sharded
+    sweeps/e19_faults/sharded sweeps/fig10_adder/sharded \
+    sweeps/seq_pipeline/sharded
 
 echo "== job-server bench smoke (short budget) =="
 # End-to-end over live TCP: submit/drain throughput, artifact-cache
