@@ -2,9 +2,10 @@
 //! (`scripts/bench.sh`).
 //!
 //! Times the E18 variation Monte-Carlo, E19 defect-yield curves, the
-//! Fig. 10 adder vector sweep, and the sequential 64-lane truth sweep
-//! through the sharded engine (`pmorph-exec`) against their retained
-//! flat/serial references, and records three pass/fail checks:
+//! Fig. 10 adder vector sweep, the sequential 64-lane truth sweep, and
+//! the hierarchical partitioned PnR of a 100×100-block fabric through
+//! the sharded engine (`pmorph-exec`) against their retained flat/serial
+//! references, and records five pass/fail checks:
 //!
 //! * `sweeps_bit_identical_thread1_vs_n` — the sharded E18 study at the
 //!   host's worker count equals the flat serial study bit for bit.
@@ -15,6 +16,15 @@
 //!   workers, ≥0.45×workers with 2–7, and ≥0.7× when only one core is
 //!   available (overhead bound: sharding a serial host must stay within
 //!   ~30% of the flat loop).
+//! * `pnr_hier_bit_identical_thread1_vs_n` — the hierarchical seeded
+//!   placement search over the 10⁴-LUT fabric is bit-identical at 1 and
+//!   N workers.
+//! * `pnr_hier_speedup_vs_flat` — the hierarchical 8-candidate seeded
+//!   placement search beats the flat single-block search by ≥1.2×. Both
+//!   legs run on one worker, so the floor is purely algorithmic and
+//!   holds on any host: a flat candidate shuffle scatters connected
+//!   LUTs across the whole die (routes ~grid-sized) while a
+//!   hierarchical shuffle stays region-local (routes ~region-sized).
 
 use pmorph_bench::experiments::extensions::{defect_yield_curves, defect_yield_curves_flat};
 use pmorph_bench::experiments::fabric_figs::{
@@ -200,12 +210,100 @@ fn sweeps_checks(c: &mut Criterion) {
     );
 }
 
+/// Candidate count for the PnR search legs: enough that the one-time
+/// partitioning/layout cost amortizes the way it does in a real seeded
+/// search, without inflating the bench budget.
+const PNR_CANDIDATES: usize = 8;
+
+/// Speedup floor for `pnr_hier_speedup_vs_flat`. Both legs are timed on
+/// a single worker, so the floor is purely algorithmic (hier candidates
+/// route region-sized wire, flat candidates route grid-sized wire) and
+/// host-independent; it sits well under the measured ~1.5× margin to
+/// absorb CI jitter.
+const PNR_SPEEDUP_TARGET: f64 = 1.2;
+
+/// Hierarchical partitioned PnR candidate search on a 100×100-block
+/// fabric (10⁴ LUTs, mostly-local connectivity) vs the flat single-block
+/// search — the exact dispatch `best_seeded_placement` (and the serve
+/// `place_route` job) makes at this size — plus the thread-count
+/// bit-identity and hier-vs-flat speedup checks.
+fn sweeps_pnr_hier(c: &mut Criterion) {
+    use pmorph_fpga::pnr::best_seeded_placement_flat;
+    use pmorph_fpga::pnr::hier::{auto_partitions, best_seeded_placement_hier};
+    use pmorph_fpga::{testgen, FpgaTiming};
+
+    let design = testgen::grid_design(100, 100, 0xFAB);
+    let timing = FpgaTiming::default();
+    let partitions = auto_partitions(design.luts.len());
+    let wide_cfg = SweepConfig::new().with_workers(sharded_workers());
+    let serial_cfg = SweepConfig::new().with_workers(1);
+
+    let mut group = c.benchmark_group("sweeps/pnr_hier");
+    group.throughput(Throughput::Elements(design.luts.len() as u64));
+    group.bench_function("hier", |b| {
+        b.iter(|| {
+            black_box(best_seeded_placement_hier(
+                &design,
+                PNR_CANDIDATES,
+                7,
+                &timing,
+                partitions,
+                &wide_cfg,
+            ))
+        })
+    });
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            black_box(best_seeded_placement_flat(&design, PNR_CANDIDATES, 7, &timing, &wide_cfg))
+        })
+    });
+    group.finish();
+
+    let (wide, wide_cp, wide_winner, stats) =
+        best_seeded_placement_hier(&design, PNR_CANDIDATES, 7, &timing, partitions, &wide_cfg);
+    let (serial, serial_cp, serial_winner, _) =
+        best_seeded_placement_hier(&design, PNR_CANDIDATES, 7, &timing, partitions, &serial_cfg);
+    let identical = wide.placement == serial.placement
+        && wide.connection_lengths == serial.connection_lengths
+        && wide.max_occupancy == serial.max_occupancy
+        && wide_cp == serial_cp
+        && wide_winner == serial_winner
+        && wide.placement.len() == design.luts.len();
+    assert!(
+        c.record_check("pnr_hier_bit_identical_thread1_vs_n", identical),
+        "hierarchical PnR diverged across worker counts"
+    );
+
+    // Single-worker legs: the check certifies the algorithmic win, not
+    // the host's core count (parallel scaling helps both paths — flat
+    // shards candidates, hier shards partitions).
+    let budget_ms = 300u64;
+    let hier_ns = median_run_ns(budget_ms, || {
+        best_seeded_placement_hier(&design, PNR_CANDIDATES, 7, &timing, partitions, &serial_cfg)
+    });
+    let flat_ns = median_run_ns(budget_ms, || {
+        best_seeded_placement_flat(&design, PNR_CANDIDATES, 7, &timing, &serial_cfg)
+    });
+    let speedup = flat_ns / hier_ns;
+    let target = PNR_SPEEDUP_TARGET;
+    println!(
+        "sweeps/pnr_hier_speedup: {speedup:.2}x (flat {flat_ns:.0} ns / hier {hier_ns:.0} ns, \
+         {partitions} partitions, {} boundary nets, target {target:.2}x)",
+        stats.boundary_nets
+    );
+    assert!(
+        c.record_check("pnr_hier_speedup_vs_flat", speedup >= target),
+        "hierarchical PnR speedup {speedup:.2}x under target {target:.2}x"
+    );
+}
+
 criterion_group!(
     sweeps,
     sweeps_e18_variation,
     sweeps_e19_faults,
     sweeps_fig10_adder,
     sweeps_seq_pipeline,
+    sweeps_pnr_hier,
     sweeps_checks
 );
 criterion_main!(sweeps);

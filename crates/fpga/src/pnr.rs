@@ -16,6 +16,33 @@ use pmorph_sim::NetId;
 use pmorph_util::rng::{mix_seed, Rng, StdRng};
 use std::collections::{HashMap, VecDeque};
 
+pub mod hier;
+
+/// Routing failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PnrError {
+    /// A connection endpoint (driver or sink of a LUT-driven net) has no
+    /// entry in the placement — routing it is impossible, and silently
+    /// skipping it would under-report wirelength and leave the design
+    /// electrically open.
+    Unplaced {
+        /// The net whose endpoint is missing from the placement.
+        net: NetId,
+    },
+}
+
+impl std::fmt::Display for PnrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PnrError::Unplaced { net } => {
+                write!(f, "connection endpoint net {} has no placement", net.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PnrError {}
+
 /// Placement + routing result.
 #[derive(Clone, Debug, Default)]
 pub struct PnrResult {
@@ -103,6 +130,13 @@ fn bfs_order(design: &MappedDesign) -> Vec<usize> {
 fn place_with_order(design: &MappedDesign, order: &[usize]) -> PnrResult {
     let n = design.luts.len().max(1);
     let grid = (n as f64).sqrt().ceil() as usize;
+    place_with_order_on_grid(design, order, grid)
+}
+
+/// Scan placement onto an explicit square grid side (the hierarchical
+/// flow places each partition onto its region's sub-grid).
+fn place_with_order_on_grid(design: &MappedDesign, order: &[usize], grid: usize) -> PnrResult {
+    let grid = grid.max(1);
     let mut placement = HashMap::new();
     for (slot, &lut_idx) in order.iter().enumerate() {
         let (x, y) = (slot % grid, slot / grid);
@@ -120,7 +154,34 @@ fn place_with_order(design: &MappedDesign, order: &[usize]) -> PnrResult {
 /// never worse than the unseeded flow.
 ///
 /// Returns `(best pnr, its critical path ps, winning candidate index)`.
+///
+/// Above [`hier::HIER_LUT_THRESHOLD`] LUTs the search runs on the
+/// partitioned hierarchical flow ([`hier::best_seeded_placement_hier`]):
+/// the flat single-block search is O(n·√n)-ish per candidate and stops
+/// scaling long before the paper's fabric sizes. Both paths share the
+/// `(critical path, wirelength, index)` argmin, the per-candidate
+/// `mix_seed` streams, and the 3-rule determinism contract, so the
+/// winner is reproducible at any worker count either way.
 pub fn best_seeded_placement(
+    design: &MappedDesign,
+    candidates: usize,
+    seed: u64,
+    timing: &FpgaTiming,
+    cfg: &SweepConfig,
+) -> (PnrResult, f64, usize) {
+    let partitions = hier::auto_partitions(design.luts.len());
+    if partitions > 1 {
+        let (pnr, cp, winner, _) =
+            hier::best_seeded_placement_hier(design, candidates, seed, timing, partitions, cfg);
+        return (pnr, cp, winner);
+    }
+    best_seeded_placement_flat(design, candidates, seed, timing, cfg)
+}
+
+/// The flat (single-block) seeded placement search — the reference
+/// oracle for the hierarchical path.
+#[doc(hidden)]
+pub fn best_seeded_placement_flat(
     design: &MappedDesign,
     candidates: usize,
     seed: u64,
@@ -143,7 +204,7 @@ pub fn best_seeded_placement(
                 rng.shuffle(&mut order);
             }
             let mut pnr = place_with_order(design, &order);
-            route(design, &mut pnr);
+            route(design, &mut pnr).expect("scan placement covers every LUT");
             let cp = critical_path_ps(design, &pnr, timing);
             (pnr, cp)
         },
@@ -184,19 +245,45 @@ pub fn best_seeded_placement(
 
 /// Route every LUT-input connection through the channel grid with
 /// congestion-aware BFS (cost = 1 + occupancy per segment).
-pub fn route(design: &MappedDesign, pnr: &mut PnrResult) {
+///
+/// Every LUT-driven connection must have both endpoints placed: a
+/// missing entry is a [`PnrError::Unplaced`] naming the offending net,
+/// not a silent skip (which used to under-report wirelength and leave
+/// the design electrically open).
+pub fn route(design: &MappedDesign, pnr: &mut PnrResult) -> Result<(), PnrError> {
+    route_with_occupancy(design, pnr).map(|_| ())
+}
+
+/// Dense index of a channel segment in a `grid × grid × 2` occupancy
+/// plane (a `Vec` beats a hash map by an order of magnitude on the
+/// fabric-sized routes the hierarchical flow exists for).
+pub(crate) fn seg_index(grid: usize, (x, y, dir): (usize, usize, u8)) -> usize {
+    (y * grid + x) * 2 + dir as usize
+}
+
+/// [`route`], additionally returning the per-segment occupancy plane
+/// (indexed by [`seg_index`]) so the hierarchical stitcher can continue
+/// charging congestion across region boundaries. Channel segments:
+/// horizontal between `(x,y)-(x+1,y)` (`dir 0`), vertical between
+/// `(x,y)-(x,y+1)` (`dir 1`).
+pub(crate) fn route_with_occupancy(
+    design: &MappedDesign,
+    pnr: &mut PnrResult,
+) -> Result<Vec<usize>, PnrError> {
     let g = pnr.grid.max(1);
-    // channel segments: horizontal between (x,y)-(x+1,y), vertical
-    // between (x,y)-(x,y+1); occupancy per segment.
-    let mut occ: HashMap<(usize, usize, u8), usize> = HashMap::new();
+    let mut occ = vec![0usize; g * g * 2];
     let by_out: HashMap<u32, ()> = design.luts.iter().map(|l| (l.output.0, ())).collect();
     for lut in &design.luts {
-        let Some(&dst) = pnr.placement.get(&lut.output.0) else { continue };
+        let Some(&dst) = pnr.placement.get(&lut.output.0) else {
+            return Err(PnrError::Unplaced { net: lut.output });
+        };
         for inp in &lut.inputs {
             if !by_out.contains_key(&inp.0) {
                 continue; // primary input: assume perimeter injection
             }
-            let Some(&src) = pnr.placement.get(&inp.0) else { continue };
+            let Some(&src) = pnr.placement.get(&inp.0) else {
+                return Err(PnrError::Unplaced { net: *inp });
+            };
             if src == dst {
                 pnr.connection_lengths.push(0);
                 continue;
@@ -207,7 +294,7 @@ pub fn route(design: &MappedDesign, pnr: &mut PnrResult) {
             let path = bfs_path(g, src, dst);
             let mut len = 0;
             for seg in path {
-                let e = occ.entry(seg).or_insert(0);
+                let e = &mut occ[seg_index(g, seg)];
                 *e += 1;
                 pnr.max_occupancy = pnr.max_occupancy.max(*e);
                 len += 1;
@@ -216,69 +303,97 @@ pub fn route(design: &MappedDesign, pnr: &mut PnrResult) {
             pnr.total_wirelength += len;
         }
     }
+    Ok(occ)
 }
 
 /// Channel segments along an L-shaped (x-then-y) path.
-fn bfs_path(
-    _grid: usize,
+fn bfs_path(_grid: usize, src: (usize, usize), dst: (usize, usize)) -> Vec<(usize, usize, u8)> {
+    let mut segs = Vec::new();
+    walk_path(src, dst, |x, y, dir| segs.push((x, y, dir)));
+    segs
+}
+
+/// Visit the segments of the L-shaped `src`→`dst` route in order without
+/// materializing them — the stitcher charges thousands of boundary routes
+/// per candidate and the per-route `Vec` was measurable.
+pub(crate) fn walk_path(
     (sx, sy): (usize, usize),
     (dx, dy): (usize, usize),
-) -> Vec<(usize, usize, u8)> {
-    let mut segs = Vec::new();
+    mut f: impl FnMut(usize, usize, u8),
+) {
     let (mut x, mut y) = (sx, sy);
     while x != dx {
         let nx = if dx > x { x + 1 } else { x - 1 };
-        segs.push((x.min(nx), y, 0u8));
+        f(x.min(nx), y, 0u8);
         x = nx;
     }
     while y != dy {
         let ny = if dy > y { y + 1 } else { y - 1 };
-        segs.push((x, y.min(ny), 1u8));
+        f(x, y.min(ny), 1u8);
         y = ny;
     }
-    segs
 }
 
 /// Longest combinational path delay of a routed design (ps).
+///
+/// Iterative DFS with an explicit frame stack — fabric-scale designs
+/// (10⁴+ LUTs with long carry-style chains) would overflow the thread
+/// stack under the naive recursion this replaces. The traversal order
+/// and the 0.0 loop-guard semantics (FF boundaries break real loops)
+/// are exactly the recursion's, so the result bits are unchanged.
 pub fn critical_path_ps(design: &MappedDesign, pnr: &PnrResult, timing: &FpgaTiming) -> f64 {
     let by_out: HashMap<NetId, usize> =
         design.luts.iter().enumerate().map(|(i, l)| (l.output, i)).collect();
     let mut memo: HashMap<usize, f64> = HashMap::new();
-    fn arrival(
-        i: usize,
-        design: &MappedDesign,
-        by_out: &HashMap<NetId, usize>,
-        pnr: &PnrResult,
-        timing: &FpgaTiming,
-        memo: &mut HashMap<usize, f64>,
-    ) -> f64 {
-        if let Some(&v) = memo.get(&i) {
-            return v;
-        }
-        memo.insert(i, 0.0); // loop guard (FF boundaries break real loops)
-        let lut = &design.luts[i];
-        let mut worst: f64 = 0.0;
-        for inp in &lut.inputs {
-            if let Some(&j) = by_out.get(inp) {
-                let src = pnr.placement.get(&inp.0);
-                let dst = pnr.placement.get(&lut.output.0);
-                let dist = match (src, dst) {
-                    (Some(&(sx, sy)), Some(&(dx, dy))) => sx.abs_diff(dx) + sy.abs_diff(dy),
-                    _ => 1,
-                };
-                let t =
-                    arrival(j, design, by_out, pnr, timing, memo) + dist as f64 * timing.segment_ps;
-                worst = worst.max(t);
+    // DFS frames: Enter marks the loop guard and schedules children in
+    // input order (pushed reversed onto the LIFO stack); Exit folds the
+    // memoized child arrivals exactly as the recursion's return did.
+    enum Frame {
+        Enter(usize),
+        Exit(usize),
+    }
+    let arrival = |root: usize, memo: &mut HashMap<usize, f64>| -> f64 {
+        let mut stack = vec![Frame::Enter(root)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(i) => {
+                    if memo.contains_key(&i) {
+                        continue;
+                    }
+                    memo.insert(i, 0.0); // loop guard
+                    stack.push(Frame::Exit(i));
+                    for inp in design.luts[i].inputs.iter().rev() {
+                        if let Some(&j) = by_out.get(inp) {
+                            stack.push(Frame::Enter(j));
+                        }
+                    }
+                }
+                Frame::Exit(i) => {
+                    let lut = &design.luts[i];
+                    let dst = pnr.placement.get(&lut.output.0);
+                    let mut worst: f64 = 0.0;
+                    for inp in &lut.inputs {
+                        if let Some(&j) = by_out.get(inp) {
+                            let src = pnr.placement.get(&inp.0);
+                            let dist = match (src, dst) {
+                                (Some(&(sx, sy)), Some(&(dx, dy))) => {
+                                    sx.abs_diff(dx) + sy.abs_diff(dy)
+                                }
+                                _ => 1,
+                            };
+                            worst = worst.max(memo[&j] + dist as f64 * timing.segment_ps);
+                        }
+                    }
+                    memo.insert(i, worst + timing.lut_ps);
+                }
             }
         }
-        let v = worst + timing.lut_ps;
-        memo.insert(i, v);
-        v
-    }
+        memo[&root]
+    };
     let mut worst: f64 = 0.0;
     for &o in &design.outputs {
         if let Some(&i) = by_out.get(&o) {
-            worst = worst.max(arrival(i, design, &by_out, pnr, timing, &mut memo));
+            worst = worst.max(arrival(i, &mut memo));
         }
     }
     worst
@@ -287,7 +402,7 @@ pub fn critical_path_ps(design: &MappedDesign, pnr: &PnrResult, timing: &FpgaTim
 /// One-call flow: place, route, and report `(pnr, critical path ps)`.
 pub fn place_and_route(design: &MappedDesign, timing: &FpgaTiming) -> (PnrResult, f64) {
     let mut pnr = place(design);
-    route(design, &mut pnr);
+    route(design, &mut pnr).expect("place() covers every LUT");
     let cp = critical_path_ps(design, &pnr, timing);
     (pnr, cp)
 }
@@ -297,7 +412,7 @@ pub fn place_and_route(design: &MappedDesign, timing: &FpgaTiming) -> (PnrResult
 /// the minimum W for this congestion-unaware router).
 pub fn min_channel_width(design: &MappedDesign) -> usize {
     let mut pnr = place(design);
-    route(design, &mut pnr);
+    route(design, &mut pnr).expect("place() covers every LUT");
     pnr.max_occupancy.max(1)
 }
 
@@ -346,9 +461,38 @@ mod tests {
     fn routing_produces_finite_wirelength() {
         let d = tree_design(32);
         let mut pnr = place(&d);
-        route(&d, &mut pnr);
+        route(&d, &mut pnr).unwrap();
         assert!(pnr.total_wirelength > 0);
         assert!(pnr.max_occupancy >= 1);
+    }
+
+    #[test]
+    fn missing_placement_is_a_structured_error() {
+        // Regression: `route` used to silently skip connections whose
+        // endpoint was absent from the placement, under-reporting
+        // wirelength. It must now name the unplaced net.
+        let d = tree_design(16);
+
+        // Drop a *driver* (some LUT output that feeds another LUT).
+        let inner = d
+            .luts
+            .iter()
+            .flat_map(|l| &l.inputs)
+            .find(|n| d.luts.iter().any(|l| l.output == **n))
+            .copied()
+            .expect("tree has internal nets");
+        let mut pnr = place(&d);
+        pnr.placement.remove(&inner.0);
+        assert_eq!(route(&d, &mut pnr), Err(PnrError::Unplaced { net: inner }));
+
+        // Drop a *sink* (a LUT's own output tile).
+        let sink = d.luts[0].output;
+        let mut pnr = place(&d);
+        pnr.placement.remove(&sink.0);
+        assert_eq!(route(&d, &mut pnr), Err(PnrError::Unplaced { net: sink }));
+
+        let msg = PnrError::Unplaced { net: sink }.to_string();
+        assert!(msg.contains(&sink.0.to_string()), "{msg}");
     }
 
     #[test]

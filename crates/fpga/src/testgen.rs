@@ -1,0 +1,148 @@
+//! Randomized `MappedDesign` generators for PnR property tests.
+//!
+//! Mirrors `pmorph_sim::testgen` one layer up: instead of random gate
+//! netlists these build random *post-mapping* designs directly — varied
+//! LUT counts and fan-in, including the k=6 and k=7 cuts that the
+//! multi-word `WideMask` truth tables exist for — so the PnR suites can
+//! explore placements and routes without paying a tech-map pass per
+//! case. Hidden from docs: a test fixture, not a modelling surface.
+
+use crate::mapper::{Lut, MappedDesign};
+use pmorph_sim::table::WideMask;
+use pmorph_sim::NetId;
+use pmorph_util::prop::Gen;
+use pmorph_util::rng::{mix_seed, StdRng};
+
+/// A random DAG-shaped mapped design: 2–8 primary inputs, 8–160 LUTs
+/// with fan-in 1..=7 drawn from earlier nets (so it is always
+/// combinationally acyclic), random truth tables, and a random non-empty
+/// output subset biased toward the deepest LUTs.
+pub fn random_mapped_design(g: &mut Gen) -> MappedDesign {
+    let n_inputs = g.in_range(2usize..=8);
+    let n_luts = g.in_range(8usize..=160);
+    let inputs: Vec<NetId> = (0..n_inputs as u32).map(NetId).collect();
+
+    let mut luts = Vec::with_capacity(n_luts);
+    for i in 0..n_luts {
+        // Pool of candidate drivers: every primary input plus every
+        // earlier LUT's output — net ids are dense, inputs first.
+        let pool = n_inputs + i;
+        let k = g.in_range(1usize..=7);
+        let mut lut_inputs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let pick = NetId(g.in_range(0..pool) as u32);
+            if !lut_inputs.contains(&pick) {
+                lut_inputs.push(pick);
+            }
+        }
+        let width = lut_inputs.len();
+        luts.push(Lut {
+            inputs: lut_inputs,
+            output: NetId((n_inputs + i) as u32),
+            truth: WideMask::from_fn(width, |_| g.bool()),
+        });
+    }
+
+    // Outputs: the last LUT always (deepest cone), plus a few random
+    // picks — duplicates removed, order deterministic in draw order.
+    let mut outputs = vec![luts[n_luts - 1].output];
+    for _ in 0..g.in_range(0usize..=3) {
+        let pick = luts[g.in_range(0..n_luts)].output;
+        if !outputs.contains(&pick) {
+            outputs.push(pick);
+        }
+    }
+
+    MappedDesign { luts, outputs, inputs, ..MappedDesign::default() }
+}
+
+/// A `cols × rows` fabric-shaped design with overwhelmingly local
+/// connectivity: cell `(x, y)` is one LUT fed by its north neighbour
+/// (row 0 reads primary input `x`), its west neighbour, and — every
+/// sixteenth cell or so — one long-range link to a random earlier cell.
+/// This is the shape hierarchical min-cut partitioning exists for, and
+/// the workload of the `sweeps/pnr_hier` benchmark (`grid_design(100,
+/// 100, …)` is the ≥100×100-block fabric).
+pub fn grid_design(cols: usize, rows: usize, seed: u64) -> MappedDesign {
+    let cols = cols.max(1);
+    let rows = rows.max(1);
+    let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0x6e1d));
+    let cell = |x: usize, y: usize| NetId((cols + y * cols + x) as u32);
+
+    let mut luts = Vec::with_capacity(cols * rows);
+    for y in 0..rows {
+        for x in 0..cols {
+            let mut inputs = Vec::with_capacity(3);
+            // north (primary input for the top row), then west
+            inputs.push(if y == 0 { NetId(x as u32) } else { cell(x, y - 1) });
+            if x > 0 {
+                inputs.push(cell(x - 1, y));
+            }
+            let idx = y * cols + x;
+            if idx > 0 && rng.next_u64() % 16 == 0 {
+                let far = cell((rng.next_u64() as usize % idx) % cols, (idx - 1) / cols);
+                if !inputs.contains(&far) {
+                    inputs.push(far);
+                }
+            }
+            let width = inputs.len();
+            let bits = rng.next_u64();
+            luts.push(Lut {
+                inputs,
+                output: cell(x, y),
+                truth: WideMask::from_fn(width, |m| bits >> (m & 63) & 1 == 1),
+            });
+        }
+    }
+
+    MappedDesign {
+        luts,
+        outputs: (0..cols).map(|x| cell(x, rows - 1)).collect(),
+        inputs: (0..cols as u32).map(NetId).collect(),
+        ..MappedDesign::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmorph_util::prop;
+    use pmorph_util::{prop_assert, prop_assert_eq};
+
+    #[test]
+    fn random_designs_are_acyclic_and_varied() {
+        let mut seen_wide_cut = false;
+        prop::check("fpga.testgen.random_mapped_design", 64, |g| {
+            let d = random_mapped_design(g);
+            prop_assert!(!d.luts.is_empty());
+            prop_assert!(!d.outputs.is_empty());
+            for (i, lut) in d.luts.iter().enumerate() {
+                // Acyclic by construction: inputs strictly precede the output.
+                for inp in &lut.inputs {
+                    prop_assert!(inp.0 < lut.output.0, "lut {i}");
+                }
+                prop_assert_eq!(lut.truth.vars(), lut.inputs.len());
+                if lut.inputs.len() >= 6 {
+                    seen_wide_cut = true;
+                }
+            }
+            Ok(())
+        });
+        assert!(seen_wide_cut, "64 cases must exercise k>=6 cuts");
+    }
+
+    #[test]
+    fn grid_design_shape() {
+        let d = grid_design(10, 7, 3);
+        assert_eq!(d.luts.len(), 70);
+        assert_eq!(d.outputs.len(), 10);
+        assert_eq!(d.inputs.len(), 10);
+        // Deterministic in the seed.
+        assert_eq!(grid_design(10, 7, 3), d);
+        assert_ne!(grid_design(10, 7, 4), d);
+        // Mostly-local: every cell reads its north/west neighbours.
+        let north_west: usize = d.luts.iter().map(|l| l.inputs.len().min(2)).sum();
+        let total: usize = d.luts.iter().map(|l| l.inputs.len()).sum();
+        assert!(total - north_west < total / 8, "long links are rare");
+    }
+}

@@ -19,7 +19,7 @@
 //! |---|---|---|
 //! | `truth_sweep` | netlist → tech map → 64-lane exhaustive sweep | per-output `WideMask` truth tables |
 //! | `fault_campaign` | defect sampling over a fabric (E19 kernel) | per-trial defect/bad-block counts |
-//! | `place_route` | netlist → tech map → seeded place + route + timing | placement, wirelength, critical path, LUT config image |
+//! | `place_route` | netlist → tech map → seeded place + route + timing (hierarchical partitioned flow above [`hier::HIER_LUT_THRESHOLD`] LUTs, or on explicit `partitions >= 2`) | placement, wirelength, critical path, LUT config image |
 //! | `sleep` | diagnostic: cancellable timed steps | steps completed |
 //!
 //! `sleep` is deliberately uncacheable (and is the lever the e2e suite
@@ -29,7 +29,7 @@
 use crate::cache::ArtifactCache;
 use pmorph_core::faults::DefectMap;
 use pmorph_exec::SweepConfig;
-use pmorph_fpga::pnr::{best_seeded_placement, FpgaTiming};
+use pmorph_fpga::pnr::{best_seeded_placement_flat, hier, FpgaTiming};
 use pmorph_fpga::{circuits, tech_map, MappedDesign};
 use pmorph_sim::table::WideMask;
 use pmorph_util::hash::Fnv64;
@@ -164,6 +164,11 @@ pub enum JobSpec {
         candidates: usize,
         /// Candidate-shuffle seed.
         seed: u64,
+        /// Partition count for the hierarchical flow: `0` (the default)
+        /// auto-selects from the design size, `1` forces the flat
+        /// single-block flow, `>= 2` forces that many regions. Part of
+        /// the canonical spec, so it is part of the content address.
+        partitions: usize,
     },
     /// Diagnostic job: `steps` sleeps of `step_ms`, checking
     /// cancellation between steps. Never cached.
@@ -300,11 +305,20 @@ impl JobSpec {
                 })
             }
             "place_route" => {
-                check_fields(doc, &["type", "circuit", "size", "candidates", "seed"])?;
+                check_fields(
+                    doc,
+                    &["type", "circuit", "size", "candidates", "seed", "partitions"],
+                )?;
+                let partitions = if doc.get("partitions").is_some() {
+                    get_int(doc, "partitions", 0, 4096)? as usize
+                } else {
+                    0 // auto: pick from the design size
+                };
                 Ok(JobSpec::PlaceRoute {
                     circuit: get_circuit(doc)?,
                     candidates: get_int(doc, "candidates", 1, 10_000)? as usize,
                     seed: get_int(doc, "seed", 0, u64::MAX >> 11)?,
+                    partitions,
                 })
             }
             "sleep" => {
@@ -355,11 +369,12 @@ impl JobSpec {
                 obj.set("trials", Value::Num(*trials as f64));
                 obj.set("seed", Value::Num(*seed as f64));
             }
-            JobSpec::PlaceRoute { circuit, candidates, seed } => {
+            JobSpec::PlaceRoute { circuit, candidates, seed, partitions } => {
                 obj.set("circuit", Value::Str(circuit.kind.name().into()));
                 obj.set("size", Value::Num(circuit.size as f64));
                 obj.set("candidates", Value::Num(*candidates as f64));
                 obj.set("seed", Value::Num(*seed as f64));
+                obj.set("partitions", Value::Num(*partitions as f64));
             }
             JobSpec::Sleep { steps, step_ms } => {
                 obj.set("steps", Value::Num(*steps as f64));
@@ -506,20 +521,37 @@ pub fn run(spec: &JobSpec, cache: &ArtifactCache, cancel: &AtomicBool) -> Result
             payload.set("bad_blocks_per_trial", Value::Array(bad_blocks));
             payload.set("mean_defects", Value::Num(total as f64 / *trials as f64));
         }
-        JobSpec::PlaceRoute { circuit, candidates, seed } => {
+        JobSpec::PlaceRoute { circuit, candidates, seed, partitions } => {
             let design = mapped_design(circuit, cache)?;
             check_cancel(cancel)?;
-            let (pnr, cp_ps, winner) = best_seeded_placement(
-                &design,
-                *candidates,
-                *seed,
-                &FpgaTiming::default(),
-                &SweepConfig::new(),
-            );
+            let timing = FpgaTiming::default();
+            let cfg = SweepConfig::new();
+            let resolved = match *partitions {
+                0 => hier::auto_partitions(design.luts.len()),
+                p => p,
+            };
+            let (pnr, cp_ps, winner, path, actual, boundary_nets) = if resolved > 1 {
+                let (pnr, cp, winner, stats) = hier::best_seeded_placement_hier(
+                    &design,
+                    *candidates,
+                    *seed,
+                    &timing,
+                    resolved,
+                    &cfg,
+                );
+                (pnr, cp, winner, "hier", stats.partitions, stats.boundary_nets)
+            } else {
+                let (pnr, cp, winner) =
+                    best_seeded_placement_flat(&design, *candidates, *seed, &timing, &cfg);
+                (pnr, cp, winner, "flat", 1, 0)
+            };
             check_cancel(cancel)?;
             payload.set("circuit", Value::Str(circuit.kind.name().into()));
             payload.set("size", Value::Num(circuit.size as f64));
             payload.set("candidates", Value::Num(*candidates as f64));
+            payload.set("path", Value::Str(path.into()));
+            payload.set("partitions", Value::Num(actual as f64));
+            payload.set("boundary_nets", Value::Num(boundary_nets as f64));
             payload.set("winner", Value::Num(winner as f64));
             payload.set("grid", Value::Num(pnr.grid as f64));
             payload.set("critical_path_ps", Value::Num(cp_ps));
@@ -606,6 +638,28 @@ mod tests {
     }
 
     #[test]
+    fn partitions_default_is_explicit_in_the_canonical_form() {
+        // Omitting `partitions` means auto (0): same content address as
+        // spelling the default out, different address for any other value.
+        let omitted = parse_spec(
+            r#"{"type":"place_route","circuit":"parity_tree","size":8,"candidates":4,"seed":9}"#,
+        )
+        .unwrap();
+        let explicit = parse_spec(
+            r#"{"type":"place_route","circuit":"parity_tree","size":8,"candidates":4,"seed":9,"partitions":0}"#,
+        )
+        .unwrap();
+        let forced = parse_spec(
+            r#"{"type":"place_route","circuit":"parity_tree","size":8,"candidates":4,"seed":9,"partitions":4}"#,
+        )
+        .unwrap();
+        assert_eq!(omitted, explicit);
+        assert_eq!(omitted.cache_key(), explicit.cache_key());
+        assert!(omitted.canonical().contains("\"partitions\":0"));
+        assert_ne!(omitted.cache_key(), forced.cache_key(), "partition count is addressed");
+    }
+
+    #[test]
     fn canonical_round_trips_through_parse() {
         for text in [
             r#"{"type":"truth_sweep","circuit":"parity_tree","size":6}"#,
@@ -613,6 +667,7 @@ mod tests {
             r#"{"type":"seq_sweep","circuit":"registered_pipeline","size":3}"#,
             r#"{"type":"fault_campaign","width":4,"height":4,"rate":0.01,"trials":3,"seed":7}"#,
             r#"{"type":"place_route","circuit":"ripple_adder","size":4,"candidates":2,"seed":0}"#,
+            r#"{"type":"place_route","circuit":"parity_tree","size":8,"candidates":2,"seed":1,"partitions":4}"#,
             r#"{"type":"sleep","steps":1,"step_ms":0}"#,
         ] {
             let spec = parse_spec(text).unwrap();
@@ -652,6 +707,10 @@ mod tests {
                 "rate",
             ),
             (r#"{"type":"sleep","steps":1.5,"step_ms":0}"#, "non-negative integer"),
+            (
+                r#"{"type":"place_route","circuit":"parity_tree","size":4,"candidates":1,"seed":0,"partitions":5000}"#,
+                "partitions",
+            ),
             (r#"[1,2]"#, "must be a JSON object"),
         ] {
             let e = parse_spec(text).expect_err(text);

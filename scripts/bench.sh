@@ -10,9 +10,11 @@
 # throughput workloads, and every recorded pass/fail check —
 # allocation-free steady state, the bitsim/ group's ≥10× bit-parallel
 # speedup over the scalar levelized sweep and its partial-word lane
-# masking for the kernel; bit-identity and the core-scaled
-# sharded-vs-flat speedup floor for the sweeps; the ≥5× content-addressed
-# cache-hit speedup and clean drain for the serve suite).
+# masking for the kernel; bit-identity, the core-scaled sharded-vs-flat
+# speedup floor, and the hierarchical PnR's thread bit-identity and
+# ≥1.2× search speedup over the flat flow for the sweeps; the ≥5×
+# content-addressed cache-hit speedup and clean drain for the serve
+# suite).
 #
 # Budget: PMORPH_BENCH_MS per benchmark (default 300 ms). CI runs a short
 # smoke (PMORPH_BENCH_MS=20) via scripts/verify.sh; for a baseline worth
@@ -73,7 +75,8 @@ echo "== validate $SWEEPS_OUT =="
 cargo run -q -p pmorph-bench --bin benchcheck -- "$SWEEPS_OUT" \
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
     sweeps/e19_faults/sharded sweeps/fig10_adder/sharded \
-    sweeps/seq_pipeline/sharded
+    sweeps/seq_pipeline/sharded \
+    sweeps/pnr_hier/hier sweeps/pnr_hier/flat
 
 echo "== validate $SERVE_OUT =="
 cargo run -q -p pmorph-bench --bin benchcheck -- "$SERVE_OUT" \

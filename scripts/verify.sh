@@ -46,16 +46,28 @@ PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_kernel.smoke.json" \
     cargo bench -q -p pmorph-bench --bench kernel >/dev/null
 cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_kernel.smoke.json
 
+echo "== hierarchical PnR thread matrix (release) =="
+# The hier-vs-flat differential and property suites must hold whether
+# the pool defaults to one worker or eight — the partitioned PnR shards
+# each candidate's regions over pmorph-exec, so this is the determinism
+# contract applied to the newest consumer.
+for t in 1 8; do
+    PMORPH_THREADS="$t" cargo test --release -q -p pmorph-fpga \
+        --test pnr_differential --test pnr_properties
+done
+
 echo "== sweep-engine bench smoke (short budget) =="
 # Same treatment for the sharded sweep suite: exercises the sharded vs
-# flat legs of E18/E19/fig10, the thread1-vs-N bit-identity check, and
-# the core-scaled speedup floor, then validates the JSON artifact.
+# flat legs of E18/E19/fig10, the hier-vs-flat PnR search legs, the
+# thread1-vs-N bit-identity checks, and the speedup floors, then
+# validates the JSON artifact.
 PMORPH_BENCH_MS=20 PMORPH_BENCH_JSON="$(pwd)/target/BENCH_sweeps.smoke.json" \
     cargo bench -q -p pmorph-bench --bench sweeps >/dev/null
 cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_sweeps.smoke.json \
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
     sweeps/e19_faults/sharded sweeps/fig10_adder/sharded \
-    sweeps/seq_pipeline/sharded
+    sweeps/seq_pipeline/sharded \
+    sweeps/pnr_hier/hier sweeps/pnr_hier/flat
 
 echo "== job-server bench smoke (short budget) =="
 # End-to-end over live TCP: submit/drain throughput, artifact-cache
