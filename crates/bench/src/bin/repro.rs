@@ -82,6 +82,9 @@ fn main() {
         println!("results written to {path}");
     }
     drop(report); // flush the metrics report (stderr + PMORPH_OBS_JSON)
+    if let Err(e) = pmorph_obs::trace::flush() {
+        eprintln!("obs: could not write trace: {e}"); // PMORPH_OBS_TRACE, stderr only
+    }
     if failures > 0 {
         std::process::exit(1);
     }

@@ -1,4 +1,4 @@
-//! Experiment index (DESIGN.md E1–E22). Each module regenerates one paper
+//! Experiment index (DESIGN.md E1–E24). Each module regenerates one paper
 //! figure, quantitative claim, or extension study.
 
 pub mod claims;
@@ -6,6 +6,7 @@ pub mod devices;
 pub mod extensions;
 pub mod fabric_figs;
 pub mod pipelines;
+pub mod service;
 pub mod studies;
 
 use pmorph_util::json::{self, ToJson};
@@ -114,6 +115,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("E21/§4", |s| extensions::study_general_mapper_scaled(s.mapper_funcs)),
         ("E22/§2.1+§4", |_| extensions::study_delay_crossover()),
         ("E23/§1+§5", |_| extensions::study_thermal()),
+        ("E24/§5", |_| service::study_job_server()),
     ]
 }
 
@@ -187,7 +189,7 @@ mod tests {
                 _ => {}
             }
         }
-        assert_eq!(registry().len(), 23);
+        assert_eq!(registry().len(), 24);
     }
 
     #[test]

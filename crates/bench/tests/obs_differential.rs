@@ -14,7 +14,8 @@ fn run_repro(threads: &str, obs: Option<&str>, obs_json: Option<&str>) -> Output
     cmd.arg("--fast")
         .env("PMORPH_THREADS", threads)
         .env_remove("PMORPH_OBS")
-        .env_remove("PMORPH_OBS_JSON");
+        .env_remove("PMORPH_OBS_JSON")
+        .env_remove("PMORPH_OBS_TRACE");
     if let Some(v) = obs {
         cmd.env("PMORPH_OBS", v);
     }
@@ -59,7 +60,7 @@ fn repro_stdout_is_byte_identical_with_obs_on_or_off_at_1_and_8_threads() {
     std::fs::remove_file(&sink).ok();
     let doc = json::parse(&text).expect("run report parses");
     let runs = doc.get("runs").and_then(json::Value::as_array).expect("`runs` array");
-    assert_eq!(runs.len(), 23, "one metrics block per experiment");
+    assert_eq!(runs.len(), 24, "one metrics block per experiment");
     let mut saw_sim_events = 0usize;
     for r in runs {
         let label = r.get("label").and_then(json::Value::as_str).expect("labelled block");

@@ -163,6 +163,7 @@ where
     // Resolved once: the observability gate is process-global and cheap,
     // but the worker loop should not even branch per shard on it.
     let obs_on = pmorph_obs::enabled();
+    let trace_on = pmorph_obs::trace::enabled();
     let workers = cfg.resolved_workers(n);
     let shard_size = cfg.resolved_shard_size(n);
     let shards = if n == 0 { 0 } else { n.div_ceil(shard_size) };
@@ -193,15 +194,30 @@ where
             for i in shard.start..shard.end {
                 results.push(f(&mut ctx, &ItemCtx { index: i, shard }));
             }
+            let elapsed_ns = st.elapsed().as_nanos();
+            if trace_on {
+                pmorph_obs::trace::thread_name(pmorph_obs::trace::TID_EXEC_BASE, "exec worker 0");
+                pmorph_obs::trace::complete_tid(
+                    "exec.shard",
+                    "exec",
+                    pmorph_obs::trace::TID_EXEC_BASE,
+                    st,
+                    elapsed_ns as u64,
+                );
+                pmorph_obs::trace::counter("exec.shards_remaining", (shards - s - 1) as f64);
+            }
             stats.per_shard.push(ShardStat {
                 index: s,
                 start: shard.start,
                 end: shard.end,
                 worker: 0,
-                elapsed_ns: st.elapsed().as_nanos(),
+                elapsed_ns,
             });
         }
         stats.elapsed_ns = t0.elapsed().as_nanos();
+        if trace_on {
+            pmorph_obs::trace::complete("exec.sweep", "exec", t0, stats.elapsed_ns as u64);
+        }
         obs_flush_sweep(&stats);
         return SweepOutcome { results, stats };
     }
@@ -263,6 +279,25 @@ where
                         worker: w,
                         elapsed_ns: st.elapsed().as_nanos(),
                     };
+                    if trace_on {
+                        // One stable track per logical worker (keyed by
+                        // worker index, not OS thread: scoped threads are
+                        // fresh every sweep).
+                        let tid = pmorph_obs::trace::TID_EXEC_BASE + w as u64;
+                        pmorph_obs::trace::thread_name(tid, &format!("exec worker {w}"));
+                        pmorph_obs::trace::complete_tid(
+                            "exec.shard",
+                            "exec",
+                            tid,
+                            st,
+                            stat.elapsed_ns as u64,
+                        );
+                        let claimed = cursor.load(Ordering::Relaxed).min(shards);
+                        pmorph_obs::trace::counter(
+                            "exec.shards_remaining",
+                            (shards - claimed) as f64,
+                        );
+                    }
                     // SAFETY: same exclusive-claim argument, cell `s`.
                     unsafe { *shard_stats_ref.0[s].get() = Some(stat) };
                 }
@@ -285,6 +320,9 @@ where
         pmorph_obs::span!("exec.sweep.merge").record_ns(t.elapsed().as_nanos() as u64);
     }
     stats.elapsed_ns = t0.elapsed().as_nanos();
+    if trace_on {
+        pmorph_obs::trace::complete("exec.sweep", "exec", t0, stats.elapsed_ns as u64);
+    }
     obs_flush_sweep(&stats);
     SweepOutcome { results, stats }
 }

@@ -237,7 +237,9 @@ pub fn best_seeded_placement_flat(
     pmorph_obs::counter!("fpga.pnr.candidates").add(candidates as u64);
     pmorph_obs::counter!("fpga.pnr.improvements").add(improvements);
     if let Some(t0) = obs_t0 {
-        pmorph_obs::span!("fpga.pnr.search").record_ns(t0.elapsed().as_nanos() as u64);
+        let ns = t0.elapsed().as_nanos() as u64;
+        pmorph_obs::span!("fpga.pnr.search").record_ns(ns);
+        pmorph_obs::trace::complete("fpga.pnr.search", "fpga", t0, ns);
     }
     let (best_idx, (pnr, cp)) = best.expect("at least one candidate");
     (pnr, cp, best_idx)

@@ -533,7 +533,9 @@ fn hier_candidate(
     pmorph_obs::counter!("fpga.pnr.partitions").add(p as u64);
     pmorph_obs::counter!("fpga.pnr.boundary_nets").add(ctx.boundary.len() as u64);
     if let Some(t0) = stitch_t {
-        pmorph_obs::span!("fpga.pnr.stitch").record_ns(t0.elapsed().as_nanos() as u64);
+        let ns = t0.elapsed().as_nanos() as u64;
+        pmorph_obs::span!("fpga.pnr.stitch").record_ns(ns);
+        pmorph_obs::trace::complete("fpga.pnr.stitch", "fpga", t0, ns);
     }
     let stats =
         HierStats { partitions: p, boundary_nets: ctx.boundary.len(), local_nets, region_side: rs };
@@ -583,7 +585,9 @@ pub fn best_seeded_placement_hier(
     pmorph_obs::counter!("fpga.pnr.candidates").add(candidates as u64);
     pmorph_obs::counter!("fpga.pnr.improvements").add(improvements);
     if let Some(t0) = obs_t0 {
-        pmorph_obs::span!("fpga.pnr.search").record_ns(t0.elapsed().as_nanos() as u64);
+        let ns = t0.elapsed().as_nanos() as u64;
+        pmorph_obs::span!("fpga.pnr.search").record_ns(ns);
+        pmorph_obs::trace::complete("fpga.pnr.search", "fpga", t0, ns);
     }
     let (winner, (pnr, cp, stats)) = best.expect("at least one candidate");
     (pnr, cp, winner, stats)

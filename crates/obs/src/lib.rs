@@ -8,8 +8,10 @@
 //!
 //! The whole layer is **off by default**. Recording is enabled only when
 //! the process environment carries `PMORPH_OBS=1` (also `true`/`on`), or
-//! when `PMORPH_OBS_JSON=<path>` names a report sink (which implies the
-//! metrics feeding it should be collected). When disabled, every hot-path
+//! when `PMORPH_OBS_JSON=<path>` names a report sink or
+//! `PMORPH_OBS_TRACE=<path>` names a Chrome-trace sink (either sink
+//! implies the metrics feeding it should be collected). When disabled,
+//! every hot-path
 //! operation — [`Counter::add`], [`Histogram::observe`], [`Span::enter`] —
 //! is a single relaxed atomic load plus a predicted branch, with no stores,
 //! no locking, and no allocation; the kernel benchmarks pin this with an
@@ -44,6 +46,7 @@
 
 pub mod registry;
 pub mod report;
+pub mod trace;
 
 pub use registry::{snapshot, Counter, Gauge, Histogram, MetricValue, Snapshot, Span, SpanGuard};
 pub use report::RunReport;
@@ -71,10 +74,12 @@ pub fn enabled() -> bool {
 
 #[cold]
 fn init_from_env() -> bool {
+    let sink_named = |var: &str| std::env::var(var).map(|p| !p.is_empty()).unwrap_or(false);
     let on = match std::env::var("PMORPH_OBS") {
         Ok(v) => env_is_on(&v),
-        // An explicit report sink implies the metrics that feed it.
-        Err(_) => std::env::var("PMORPH_OBS_JSON").map(|p| !p.is_empty()).unwrap_or(false),
+        // An explicit sink implies the metrics that feed it — the JSON
+        // run report and the Chrome-trace file alike.
+        Err(_) => sink_named("PMORPH_OBS_JSON") || sink_named("PMORPH_OBS_TRACE"),
     };
     let want = if on { STATE_ENABLED } else { STATE_DISABLED };
     // A concurrent `force` wins the race; re-read rather than assume.

@@ -101,7 +101,13 @@ impl RunReport {
         let n = runs.len();
         let mut doc = Value::object();
         doc.set("runs", Value::Array(runs));
-        std::fs::write(&path, doc.to_string_pretty() + "\n")?;
+        // Atomic replace: bench.sh shares this artifact across processes,
+        // so a crash mid-write must leave either the old document or the
+        // new one, never a truncated mix. The temp file sits next to the
+        // target (same filesystem) so the rename cannot cross devices.
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, doc.to_string_pretty() + "\n")?;
+        std::fs::rename(&tmp, &path)?;
         eprintln!("obs: wrote {n} metric block(s) to {path}");
         Ok(())
     }
@@ -159,6 +165,22 @@ mod tests {
         assert_eq!(runs[0].get("label").unwrap().as_str(), Some("first"));
         assert!(runs[0].get("metrics").unwrap().get("test.report.c").is_some());
         assert_eq!(runs[1].get("label").unwrap().as_str(), Some("second"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_leaves_no_temp_file_behind() {
+        let path = tmp("atomic");
+        std::fs::remove_file(&path).ok();
+        let mut r = RunReport::to_path(&path);
+        r.record_value("only", Value::object());
+        r.flush().unwrap();
+        assert!(json::parse(&std::fs::read_to_string(&path).unwrap()).is_ok());
+        let tmp_path = format!("{path}.tmp.{}", std::process::id());
+        assert!(
+            std::fs::metadata(&tmp_path).is_err(),
+            "temp file must be renamed away, not left next to the report"
+        );
         std::fs::remove_file(&path).ok();
     }
 

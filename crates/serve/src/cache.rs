@@ -82,6 +82,7 @@ impl ArtifactCache {
                 inner.result_hits += 1;
                 if pmorph_obs::enabled() {
                     pmorph_obs::counter!("serve.cache.result_hits").add(1);
+                    pmorph_obs::trace::counter("serve.cache.result_hits", inner.result_hits as f64);
                 }
                 Some(payload)
             }

@@ -66,14 +66,62 @@ impl std::fmt::Display for HttpError {
     }
 }
 
+/// Outcome of one length-capped line read.
+enum CappedLine {
+    /// Peer closed before any byte arrived.
+    Eof,
+    /// A complete line, terminator included (or the final unterminated
+    /// bytes before EOF, matching `read_line`).
+    Line(Vec<u8>),
+    /// More than `limit` bytes arrived with no newline.
+    Oversize,
+}
+
+/// Read one `\n`-terminated line, never buffering more than `limit + 1`
+/// bytes no matter how much the peer sends. This is the untrusted-input
+/// guard: plain `read_line` allocates in proportion to whatever arrives
+/// before a newline, so a newline-less flood grows the buffer without
+/// bound before any size check can run.
+fn read_line_capped<R: BufRead>(reader: &mut R, limit: usize) -> io::Result<CappedLine> {
+    let mut out = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if out.is_empty() { CappedLine::Eof } else { CappedLine::Line(out) });
+        }
+        let take = buf.len().min(limit + 1 - out.len());
+        match buf[..take].iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                out.extend_from_slice(&buf[..=i]);
+                reader.consume(i + 1);
+                return Ok(CappedLine::Line(out));
+            }
+            None => {
+                out.extend_from_slice(&buf[..take]);
+                reader.consume(take);
+                if out.len() > limit {
+                    return Ok(CappedLine::Oversize);
+                }
+            }
+        }
+    }
+}
+
 /// Read one request from the stream. `Ok(None)` means the peer closed
 /// the connection before sending a request line (a clean no-op).
 pub fn read_request<S: Read>(stream: S) -> io::Result<Result<Option<Request>, HttpError>> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(Ok(None));
-    }
+    // Each line is capped at the whole header budget: a single line can
+    // never legitimately need more, so a longer one is oversize without
+    // having been buffered.
+    let line = match read_line_capped(&mut reader, MAX_HEADER_BYTES)? {
+        CappedLine::Eof => return Ok(Ok(None)),
+        CappedLine::Oversize => return Ok(Err(HttpError::TooLarge("header block"))),
+        CappedLine::Line(l) => l,
+    };
+    let Ok(line) = String::from_utf8(line) else {
+        return Ok(Err(HttpError::Malformed("request line")));
+    };
     let mut header_bytes = line.len();
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next(), parts.next()) {
@@ -83,14 +131,18 @@ pub fn read_request<S: Read>(stream: S) -> io::Result<Result<Option<Request>, Ht
 
     let mut headers = Vec::new();
     loop {
-        let mut h = String::new();
-        if reader.read_line(&mut h)? == 0 {
-            return Ok(Err(HttpError::Malformed("eof in headers")));
-        }
+        let h = match read_line_capped(&mut reader, MAX_HEADER_BYTES)? {
+            CappedLine::Eof => return Ok(Err(HttpError::Malformed("eof in headers"))),
+            CappedLine::Oversize => return Ok(Err(HttpError::TooLarge("header block"))),
+            CappedLine::Line(l) => l,
+        };
         header_bytes += h.len();
         if header_bytes > MAX_HEADER_BYTES {
             return Ok(Err(HttpError::TooLarge("header block")));
         }
+        let Ok(h) = std::str::from_utf8(&h) else {
+            return Ok(Err(HttpError::Malformed("header line")));
+        };
         let h = h.trim_end_matches(['\r', '\n']);
         if h.is_empty() {
             break;
@@ -284,6 +336,29 @@ mod tests {
         }
         headers.push_str("\r\n");
         assert_eq!(parse(headers.as_bytes()), Err(HttpError::TooLarge("header block")));
+    }
+
+    #[test]
+    fn caps_unterminated_lines_instead_of_buffering_them() {
+        // Regression: a newline-less request line used to be slurped
+        // whole by `read_line` — the allocation tracked the flood, and
+        // on a live socket the read blocked until timeout. Now the line
+        // is rejected as soon as it crosses the header budget.
+        let flood = vec![b'a'; 4 * MAX_HEADER_BYTES];
+        assert_eq!(parse(&flood), Err(HttpError::TooLarge("header block")));
+        // Same guard on a single endless header line.
+        let mut req = b"GET / HTTP/1.1\r\nx-flood: ".to_vec();
+        req.extend(std::iter::repeat(b'a').take(4 * MAX_HEADER_BYTES));
+        assert_eq!(parse(&req), Err(HttpError::TooLarge("header block")));
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_malformed_not_io_errors() {
+        assert_eq!(parse(b"\xff\xfe\xfd\r\n\r\n"), Err(HttpError::Malformed("request line")));
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nx-bin: \xff\xfe\r\n\r\n"),
+            Err(HttpError::Malformed("header line"))
+        );
     }
 
     #[test]

@@ -233,6 +233,7 @@ impl Registry {
         if pmorph_obs::enabled() {
             pmorph_obs::counter!("serve.jobs.submitted").add(1);
             pmorph_obs::gauge!("serve.jobs.queue_depth").set(inner.queue.len() as f64);
+            pmorph_obs::trace::counter("serve.jobs.queue_depth", inner.queue.len() as f64);
         }
         Ok(Receipt { id, state, cache_hit })
     }
@@ -252,6 +253,7 @@ impl Registry {
                 self.state_cv.notify_all();
                 if pmorph_obs::enabled() {
                     pmorph_obs::gauge!("serve.jobs.queue_depth").set(inner.queue.len() as f64);
+                    pmorph_obs::trace::counter("serve.jobs.queue_depth", inner.queue.len() as f64);
                 }
                 return Some(out);
             }
@@ -325,6 +327,7 @@ impl Registry {
                 if pmorph_obs::enabled() {
                     pmorph_obs::counter!("serve.jobs.cancelled").add(1);
                     pmorph_obs::gauge!("serve.jobs.queue_depth").set(inner.queue.len() as f64);
+                    pmorph_obs::trace::counter("serve.jobs.queue_depth", inner.queue.len() as f64);
                 }
                 Some(JobState::Cancelled)
             }
@@ -504,6 +507,11 @@ pub fn run_one(registry: &Registry, id: u64, spec: &JobSpec, cancel: &AtomicBool
     let t0 = Instant::now();
     let outcome = job::run(spec, registry.cache(), cancel);
     let run_ns = t0.elapsed().as_nanos() as u64;
+    // One span per job on the worker thread's own track, labelled by
+    // job type — reuses the `t0` the metrics delta already took.
+    if pmorph_obs::trace::enabled() {
+        pmorph_obs::trace::complete(&format!("serve.job.run:{}", spec.kind()), "serve", t0, run_ns);
+    }
     let metrics = obs_base.map(|base| pmorph_obs::snapshot().delta_since(&base).to_json());
     registry.complete(id, outcome, metrics, run_ns);
 }

@@ -105,7 +105,24 @@ pub fn serve(cfg: &ServeConfig) -> io::Result<ServerHandle> {
                 // connection, so a thread pool here would be ceremony.
                 let _ =
                     std::thread::Builder::new().name("pmorph-serve-conn".into()).spawn(move || {
+                        // One trace span per request on a single shared
+                        // HTTP track (connection threads are ephemeral,
+                        // so per-thread tracks would never reuse a tid).
+                        let t0 = pmorph_obs::trace::enabled().then(std::time::Instant::now);
                         let _ = handle_connection(&stream, &registry, &stopping);
+                        if let Some(t0) = t0 {
+                            pmorph_obs::trace::thread_name(
+                                pmorph_obs::trace::TID_HTTP,
+                                "serve http",
+                            );
+                            pmorph_obs::trace::complete_tid(
+                                "serve.http",
+                                "serve",
+                                pmorph_obs::trace::TID_HTTP,
+                                t0,
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                        }
                     });
             }
         })
@@ -134,6 +151,12 @@ impl ServerHandle {
         }
         if let Some(pool) = self.pool.take() {
             pool.join();
+        }
+        // Last chance to persist the Chrome trace: both the binary and
+        // programmatic shutdown funnel through here with no serve
+        // threads left running.
+        if let Err(e) = pmorph_obs::trace::flush() {
+            eprintln!("serve: could not write trace: {e}");
         }
     }
 
@@ -167,10 +190,32 @@ fn handle_connection(
                 HttpError::Malformed(_) => 400,
                 HttpError::TooLarge(_) => 413,
             };
-            return http::write_response(stream, status, &error_body(&e.to_string()));
+            let written = http::write_response(stream, status, &error_body(&e.to_string()));
+            drain_peer(stream);
+            return written;
         }
     };
     route(stream, &req, registry, stopping)
+}
+
+/// After a 4xx on a request we refused to finish reading, the peer may
+/// still be mid-send (an oversize flood). Closing the socket with unread
+/// data pending makes the kernel reset the connection, which can discard
+/// the buffered error response before the peer sees it — so swallow a
+/// bounded amount of the remainder on a short clock first.
+fn drain_peer(stream: &TcpStream) {
+    const DRAIN_CAP: usize = 256 * 1024;
+    if stream.set_read_timeout(Some(std::time::Duration::from_millis(250))).is_err() {
+        return;
+    }
+    let mut sink = [0u8; 4096];
+    let mut drained = 0;
+    while drained < DRAIN_CAP {
+        match io::Read::read(&mut (&*stream), &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
 }
 
 fn error_body(msg: &str) -> Value {

@@ -326,6 +326,103 @@ fn the_shipped_binary_serves_the_protocol() {
 }
 
 #[test]
+fn hostile_bodies_get_400_and_the_server_stays_alive() {
+    let server = start(1);
+    let addr = server.addr();
+
+    // Malformed surrogate pair (`\uD800` followed by a non-low-surrogate
+    // escape): the parser used to underflow computing `low - 0xDC00`,
+    // panicking the connection thread in debug builds — the client saw a
+    // dead connection instead of a response.
+    let resp = post(addr, "/jobs", r#"{"s":"\uD800\u0041"}"#);
+    assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+    let err = resp.json().unwrap();
+    assert!(
+        err.get("error").and_then(Value::as_str).unwrap().contains("malformed JSON"),
+        "{err:?}"
+    );
+
+    // A lone low surrogate takes the other malformed-surrogate path.
+    assert_eq!(post(addr, "/jobs", r#"{"s":"\uDC00"}"#).status, 400);
+
+    // Pathologically nested body: recursion used to track the nesting
+    // depth, so ~100k opens overflowed the stack and killed the whole
+    // process. Now it is a parse error like any other.
+    let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+    assert_eq!(post(addr, "/jobs", &deep).status, 400);
+
+    // The server survived all three and still serves.
+    assert_eq!(get(addr, "/metrics").status, 200);
+    server.shutdown(true);
+}
+
+#[test]
+fn newline_less_header_flood_gets_413_not_a_hang() {
+    let server = start(1);
+    let addr = server.addr();
+
+    // 64 KiB of header bytes with no newline and the connection held
+    // open: pre-cap, `read_line` blocked waiting for a terminator until
+    // the server's 30 s socket timeout (and buffered everything sent in
+    // the meantime). The capped reader answers as soon as the line
+    // crosses the header budget — well inside this client timeout.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(b"GET / HTTP/1.1\r\nx-flood: ").unwrap();
+    stream.write_all(&vec![b'a'; 64 * 1024]).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).expect("413 before any timeout");
+    assert!(line.starts_with("HTTP/1.1 413"), "{line}");
+    drop(stream);
+
+    // The flood neither killed nor wedged the server.
+    assert_eq!(get(addr, "/metrics").status, 200);
+    server.shutdown(true);
+}
+
+#[test]
+fn trace_sink_records_serve_spans_in_the_shipped_binary() {
+    let trace_path =
+        std::env::temp_dir().join(format!("pmorph_serve_trace_{}.json", std::process::id()));
+    std::fs::remove_file(&trace_path).ok();
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_pmorph-serve"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        .env("PMORPH_OBS_TRACE", trace_path.to_str().unwrap())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pmorph-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").unwrap();
+    let addr: SocketAddr = banner
+        .split_whitespace()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable banner: {banner}"));
+
+    run_to_payload(addr, r#"{"type":"truth_sweep","circuit":"parity_tree","size":4}"#);
+    assert_eq!(post(addr, "/shutdown", "").status, 200);
+    assert!(child.wait().expect("binary exits").success());
+
+    // The shutdown path flushed one Chrome trace with the per-job span,
+    // the HTTP-track spans, and the queue-depth counter.
+    let text = std::fs::read_to_string(&trace_path).expect("trace written at shutdown");
+    std::fs::remove_file(&trace_path).ok();
+    let doc = json::parse(&text).expect("trace parses with util::json");
+    let events = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+    let named = |name: &str, ph: &str| {
+        events.iter().any(|e| {
+            e.get("name").and_then(Value::as_str) == Some(name)
+                && e.get("ph").and_then(Value::as_str) == Some(ph)
+        })
+    };
+    assert!(named("serve.job.run:truth_sweep", "X"), "per-job span missing");
+    assert!(named("serve.http", "X"), "HTTP-track span missing");
+    assert!(named("serve.jobs.queue_depth", "C"), "queue-depth counter missing");
+}
+
+#[test]
 fn submit_response_is_valid_json_with_wire_id() {
     let server = start(1);
     let resp = post(server.addr(), "/jobs", r#"{"type":"sleep","steps":0,"step_ms":0}"#);

@@ -232,8 +232,9 @@ pub fn sweep_truth(
         }
     }
     pmorph_obs::counter!("sim.bitsim.words").add(words as u64);
-    pmorph_obs::gauge!("sim.bitsim.lane_utilization")
-        .set((1u64 << n) as f64 / (words as f64 * 64.0));
+    let utilization = (1u64 << n) as f64 / (words as f64 * 64.0);
+    pmorph_obs::gauge!("sim.bitsim.lane_utilization").set(utilization);
+    pmorph_obs::trace::counter("sim.bitsim.lane_utilization", utilization);
     masks
 }
 

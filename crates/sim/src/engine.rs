@@ -472,6 +472,12 @@ impl Simulator {
         if ns > 0 && events > 0 {
             pmorph_obs::gauge!("sim.events_per_sec").set(events as f64 * 1.0e9 / ns as f64);
         }
+        if pmorph_obs::trace::enabled() {
+            // Reuses `t0` from the metrics baseline: no extra clock reads
+            // beyond what the metrics layer already paid for.
+            pmorph_obs::trace::complete("sim.run", "sim", t0, ns);
+            pmorph_obs::trace::counter("sim.queue_depth", s1.max_queue as f64);
+        }
     }
 
     /// Apply every event sharing the earliest timestamp, then re-evaluate

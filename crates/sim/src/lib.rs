@@ -23,6 +23,7 @@
 
 pub mod bitsim;
 pub mod builder;
+pub mod chrometrace;
 pub mod engine;
 pub mod levelized;
 pub mod logic;

@@ -157,9 +157,14 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 }
 
 fn write_number(out: &mut String, x: f64) {
-    if !x.is_finite() {
-        // JSON has no Inf/NaN; serialize as null like serde_json's default
+    if x.is_nan() {
+        // JSON has no NaN; serialize as null like serde_json's default
         out.push_str("null");
+    } else if x.is_infinite() {
+        // Round-trip-safe: the parser itself produces infinities from
+        // overflowing literals (`1e999` → inf), so emit one back rather
+        // than silently degrading a re-serialized document to null.
+        out.push_str(if x > 0.0 { "1e999" } else { "-1e999" });
     } else if x == x.trunc() && x.abs() < 1e15 {
         let _ = write!(out, "{}", x as i64);
     } else {
@@ -262,11 +267,17 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Deepest container nesting the parser accepts. The recursive-descent
+/// parser spends one stack frame per `[`/`{` level, so an attacker-sized
+/// `[[[[…]]]]` must become a [`ParseError`], not a stack overflow — the
+/// parser sits on the job server's untrusted-body path.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a complete JSON document (trailing whitespace allowed).
 pub fn parse(text: &str) -> Result<Value, ParseError> {
     let b = text.as_bytes();
     let mut pos = 0;
-    let v = parse_value(b, &mut pos)?;
+    let v = parse_value(b, &mut pos, 0)?;
     skip_ws(b, &mut pos);
     if pos != b.len() {
         return Err(ParseError { at: pos, msg: "trailing characters" });
@@ -280,11 +291,14 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
     skip_ws(b, pos);
     let Some(&c) = b.get(*pos) else {
         return Err(ParseError { at: *pos, msg: "unexpected end of input" });
     };
+    if depth >= MAX_DEPTH && matches!(c, b'[' | b'{') {
+        return Err(ParseError { at: *pos, msg: "nesting too deep" });
+    }
     match c {
         b'n' => parse_lit(b, pos, "null", Value::Null),
         b't' => parse_lit(b, pos, "true", Value::Bool(true)),
@@ -299,7 +313,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                 return Ok(Value::Array(xs));
             }
             loop {
-                xs.push(parse_value(b, pos)?);
+                xs.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -327,7 +341,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
                     return Err(ParseError { at: *pos, msg: "expected ':'" });
                 }
                 *pos += 1;
-                let val = parse_value(b, pos)?;
+                let val = parse_value(b, pos, depth + 1)?;
                 fields.push((key, val));
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -418,8 +432,16 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
                                 .ok_or(ParseError { at: *pos, msg: "bad \\u escape" })?;
+                            // The pair arithmetic below underflows (debug
+                            // panic) or fabricates a scalar (release) unless
+                            // the second escape really is a low surrogate.
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(ParseError { at: *pos, msg: "invalid low surrogate" });
+                            }
                             *pos += 4;
                             0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&hex) {
+                            return Err(ParseError { at: *pos - 4, msg: "lone low surrogate" });
                         } else {
                             hex
                         };
@@ -488,6 +510,58 @@ mod tests {
     #[test]
     fn parses_unicode_escapes() {
         assert_eq!(parse(r#""é😀""#).unwrap(), Value::Str("é😀".into()));
+        // A valid surrogate pair decodes to the astral scalar.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_surrogates_without_panicking() {
+        // Regression: a high surrogate followed by a non-low-surrogate
+        // escape used to compute `low - 0xDC00` unchecked — an arithmetic
+        // underflow (debug panic) on the untrusted job-server body path.
+        assert_eq!(parse(r#"{"s":"\uD800\u0041"}"#).unwrap_err().msg, "invalid low surrogate");
+        // A high surrogate paired with another high surrogate.
+        assert_eq!(parse(r#""\uD800\uD800""#).unwrap_err().msg, "invalid low surrogate");
+        // A high surrogate followed by a plain character.
+        assert_eq!(parse(r#"{"s":"\uD800A"}"#).unwrap_err().msg, "lone high surrogate");
+        // A low surrogate with no preceding high surrogate.
+        assert_eq!(parse(r#""\uDC00""#).unwrap_err().msg, "lone low surrogate");
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        // Regression: unbounded recursion let a deeply nested body
+        // overflow the stack and kill the process. At the limit the
+        // document still parses; one level past it is a clean error.
+        let nest = |n: usize| "[".repeat(n) + &"]".repeat(n);
+        let at_limit = nest(MAX_DEPTH);
+        assert!(parse(&at_limit).is_ok(), "{MAX_DEPTH} levels must parse");
+        let over = nest(MAX_DEPTH + 1);
+        assert_eq!(parse(&over).unwrap_err().msg, "nesting too deep");
+        // Far past the limit must also be a clean error, not a crash —
+        // and objects count toward the same depth budget.
+        let deep = nest(100_000);
+        assert_eq!(parse(&deep).unwrap_err().msg, "nesting too deep");
+        let objs = r#"{"a":"#.repeat(MAX_DEPTH + 1) + "1" + &"}".repeat(MAX_DEPTH + 1);
+        assert_eq!(parse(&objs).unwrap_err().msg, "nesting too deep");
+    }
+
+    #[test]
+    fn non_finite_numbers_round_trip() {
+        // The parser accepts overflowing literals and produces ±inf;
+        // serialization must hand back a literal that re-parses to the
+        // same value instead of degrading to null.
+        assert_eq!(parse("1e999").unwrap(), Value::Num(f64::INFINITY));
+        assert_eq!(parse("-1e999").unwrap(), Value::Num(f64::NEG_INFINITY));
+        assert_eq!(Value::Num(f64::INFINITY).to_string_compact(), "1e999");
+        assert_eq!(Value::Num(f64::NEG_INFINITY).to_string_compact(), "-1e999");
+        for v in [f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Value::Num(v).to_string_compact();
+            assert_eq!(parse(&text).unwrap(), Value::Num(v), "{text}");
+        }
+        // NaN has no JSON literal at all; it stays null (and null does
+        // not re-parse as a number, which callers must accept).
+        assert_eq!(Value::Num(f64::NAN).to_string_compact(), "null");
     }
 
     #[test]

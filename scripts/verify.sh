@@ -19,7 +19,7 @@ cargo build --workspace --benches --examples
 echo "== tests (debug, whole workspace) =="
 cargo test --workspace -q
 
-echo "== reproduction experiments (E1-E23, release) =="
+echo "== reproduction experiments (E1-E24, release) =="
 cargo run --release -q -p pmorph-bench --bin repro -- >/dev/null
 
 echo "== release-mode sim semantics (past-event clamp path) =="
@@ -34,6 +34,16 @@ echo "== observability differential suite =="
 # metrics block per experiment. Also covers the benchcheck CLI hardening
 # (null-median rejection, --baseline regression gate).
 cargo test -q -p pmorph-bench --test obs_differential --test benchcheck_cli
+
+echo "== trace differential suite + smoke =="
+# Same byte-identity contract for PMORPH_OBS_TRACE at 1 and 8 threads,
+# plus schema/coverage checks on the written Chrome trace (span events
+# from sim, exec, fpga, and serve; >=2 counter tracks; no file when the
+# variable is unset).
+cargo test -q -p pmorph-bench --test trace_differential
+PMORPH_OBS_TRACE="$(pwd)/target/trace.smoke.json" \
+    cargo run --release -q -p pmorph-bench --bin repro -- --fast >/dev/null
+test -s target/trace.smoke.json
 
 echo "== kernel bench smoke (short budget) =="
 # A fast pass over the kernel suite: exercises every tracked workload
