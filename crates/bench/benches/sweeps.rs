@@ -5,12 +5,16 @@
 //! Fig. 10 adder vector sweep, the sequential 64-lane truth sweep, and
 //! the hierarchical partitioned PnR of a 100×100-block fabric through
 //! the sharded engine (`pmorph-exec`) against their retained flat/serial
-//! references, and records five pass/fail checks:
+//! references — plus the polymorphic synthesis + personality-proof
+//! pipeline — and records six pass/fail checks:
 //!
 //! * `sweeps_bit_identical_thread1_vs_n` — the sharded E18 study at the
 //!   host's worker count equals the flat serial study bit for bit.
 //! * `seq_sweep_bit_identical_thread1_vs_n` — the sharded sequential
 //!   pipeline sweep equals the serial run bit for bit.
+//! * `poly_sweep_bit_identical_thread1_vs_n` — the per-mode truth masks
+//!   recovered while proving a polymorphic circuit's personalities are
+//!   bit-identical at 1 and N workers.
 //! * `e18_sharded_speedup_vs_flat` — sharded full-scale E18 throughput
 //!   over flat-serial meets a core-scaled floor: ≥4.0× with 8+ effective
 //!   workers, ≥0.45×workers with 2–7, and ≥0.7× when only one core is
@@ -210,6 +214,50 @@ fn sweeps_checks(c: &mut Criterion) {
     );
 }
 
+/// The polymorphic synthesis + proof pipeline: bi-decompose the 8-var
+/// odd/even parity pair (the worst case for two-level methods, the best
+/// showcase for XOR bi-decomposition), then prove both personalities by
+/// exhaustive sharded sweeps. Tracked check: the per-mode masks the
+/// sweep recovers are bit-identical at 1 and N workers — the property
+/// the serve `poly_sweep` content address rests on.
+fn sweeps_poly_synth(c: &mut Criterion) {
+    use pmorph_sim::bitsim::{sweep_truth, BitSim};
+    use pmorph_sim::table::WideMask;
+    use pmorph_synth::poly::{synthesize, PolyTruth};
+
+    let truth = PolyTruth::new(vec![
+        ("odd".to_string(), WideMask::from_fn(8, |m| m.count_ones() % 2 == 1)),
+        ("even".to_string(), WideMask::from_fn(8, |m| m.count_ones() % 2 == 0)),
+    ])
+    .unwrap();
+    let wide_cfg = SweepConfig::new().with_workers(sharded_workers());
+    let serial_cfg = SweepConfig::new().with_workers(1);
+
+    let mut group = c.benchmark_group("sweeps/poly_synth");
+    group.throughput(Throughput::Elements(1u64 << 8));
+    group.bench_function("synth", |b| b.iter(|| black_box(synthesize(&truth).unwrap())));
+    let s = synthesize(&truth).unwrap();
+    group.bench_function("verify", |b| {
+        b.iter(|| black_box(s.netlist.verify(&truth, &wide_cfg).is_ok()))
+    });
+    group.finish();
+
+    // bit-identity of the *recovered* masks, mode by mode, word by word
+    let mut identical = true;
+    for mode in 0..truth.mode_count() {
+        let (netlist, inputs, output) = s.netlist.netlist_for_mode(mode);
+        let sim = BitSim::new(netlist).unwrap();
+        let wide = sweep_truth(&sim, &inputs, &[output], &wide_cfg);
+        let serial = sweep_truth(&sim, &inputs, &[output], &serial_cfg);
+        identical &= wide == serial
+            && wide[0].as_ref().is_some_and(|m| m.words() == truth.mask(mode).words());
+    }
+    assert!(
+        c.record_check("poly_sweep_bit_identical_thread1_vs_n", identical),
+        "polymorphic personality proof diverged across worker counts"
+    );
+}
+
 /// Candidate count for the PnR search legs: enough that the one-time
 /// partitioning/layout cost amortizes the way it does in a real seeded
 /// search, without inflating the bench budget.
@@ -303,6 +351,7 @@ criterion_group!(
     sweeps_e19_faults,
     sweeps_fig10_adder,
     sweeps_seq_pipeline,
+    sweeps_poly_synth,
     sweeps_pnr_hier,
     sweeps_checks
 );

@@ -1,7 +1,7 @@
 //! E1–E4: the device-level figures (Figs. 3–6).
 
 use super::Experiment;
-use pmorph_device::gates::{ConfigurableDriver, DriverMode};
+use pmorph_device::gates::{ConfigurableDriver, DriverLevel, DriverMode};
 use pmorph_device::vtc::InverterBehaviour;
 use pmorph_device::{ConfigurableInverter, ConfigurableNand, NandOutput, RtdRamCell, Trit};
 use pmorph_util::pool;
@@ -68,22 +68,19 @@ pub fn fig4_nand_modes() -> Experiment {
 pub fn fig5_buffer_modes() -> Experiment {
     let d = ConfigurableDriver::default();
     let mut rows = vec!["mode          in=0  in=1".to_string()];
-    let fmt = |o: Option<bool>| match o {
-        Some(true) => "1",
-        Some(false) => "0",
-        None => "Z",
-    };
     let mut pass = true;
     for (mode, want0, want1) in [
-        (DriverMode::Inverting, Some(true), Some(false)),
-        (DriverMode::NonInverting, Some(false), Some(true)),
-        (DriverMode::OpenCircuit, None, None),
-        (DriverMode::Pass, Some(false), Some(true)),
+        (DriverMode::Inverting, DriverLevel::Driven(true), DriverLevel::Driven(false)),
+        (DriverMode::NonInverting, DriverLevel::Driven(false), DriverLevel::Driven(true)),
+        (DriverMode::OpenCircuit, DriverLevel::HighZ, DriverLevel::HighZ),
+        (DriverMode::Pass, DriverLevel::Driven(false), DriverLevel::Driven(true)),
     ] {
-        let o0 = d.eval_logic(false, mode).flatten();
-        let o1 = d.eval_logic(true, mode).flatten();
+        let o0 = d.eval_logic(false, mode);
+        let o1 = d.eval_logic(true, mode);
+        // exact three-way comparison: a Z where a rail is expected (or an
+        // X anywhere) fails the experiment
         pass &= o0 == want0 && o1 == want1;
-        rows.push(format!("{mode:?}  {:>4}  {:>4}", fmt(o0), fmt(o1)));
+        rows.push(format!("{mode:?}  {o0:>4}  {o1:>4}"));
     }
     Experiment {
         id: "E3/Fig5",

@@ -1,4 +1,4 @@
-//! Experiment index (DESIGN.md E1–E24). Each module regenerates one paper
+//! Experiment index (DESIGN.md E1–E26). Each module regenerates one paper
 //! figure, quantitative claim, or extension study.
 
 pub mod claims;
@@ -6,6 +6,7 @@ pub mod devices;
 pub mod extensions;
 pub mod fabric_figs;
 pub mod pipelines;
+pub mod poly;
 pub mod service;
 pub mod studies;
 
@@ -116,6 +117,8 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("E22/§2.1+§4", |_| extensions::study_delay_crossover()),
         ("E23/§1+§5", |_| extensions::study_thermal()),
         ("E24/§5", |_| service::study_job_server()),
+        ("E25/§2+§4", |_| poly::study_poly_synthesis()),
+        ("E26/§2", |_| poly::study_poly_completeness()),
     ]
 }
 
@@ -189,7 +192,7 @@ mod tests {
                 _ => {}
             }
         }
-        assert_eq!(registry().len(), 24);
+        assert_eq!(registry().len(), 26);
     }
 
     #[test]

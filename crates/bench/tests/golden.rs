@@ -1,4 +1,4 @@
-//! Golden regression: every reproduction experiment (E1–E24) runs in fast
+//! Golden regression: every reproduction experiment (E1–E26) runs in fast
 //! mode and reports `[OK]`, and the whole suite is bit-identical from run
 //! to run. This is the cheap end-to-end gate `cargo test` applies to the
 //! figures; the full-scale figures come from the `repro` binary.
@@ -6,16 +6,16 @@
 use pmorph_bench::experiments::{self, Experiment, Scale};
 
 #[test]
-fn all_24_experiments_report_ok_in_fast_mode() {
+fn all_26_experiments_report_ok_in_fast_mode() {
     let all = experiments::run_all_fast();
-    assert_eq!(all.len(), 24, "experiment index changed — update this count and DESIGN.md");
+    assert_eq!(all.len(), 26, "experiment index changed — update this count and DESIGN.md");
     for e in &all {
         assert!(e.pass, "{} mismatched the paper's shape:\n{e}", e.id);
     }
     let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
     ids.sort_unstable();
     ids.dedup();
-    assert_eq!(ids.len(), 24, "experiment ids must be unique");
+    assert_eq!(ids.len(), 26, "experiment ids must be unique");
 }
 
 #[test]

@@ -60,7 +60,7 @@ fn repro_stdout_is_byte_identical_with_obs_on_or_off_at_1_and_8_threads() {
     std::fs::remove_file(&sink).ok();
     let doc = json::parse(&text).expect("run report parses");
     let runs = doc.get("runs").and_then(json::Value::as_array).expect("`runs` array");
-    assert_eq!(runs.len(), 24, "one metrics block per experiment");
+    assert_eq!(runs.len(), 26, "one metrics block per experiment");
     let mut saw_sim_events = 0usize;
     for r in runs {
         let label = r.get("label").and_then(json::Value::as_str).expect("labelled block");

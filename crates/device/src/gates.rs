@@ -168,6 +168,46 @@ pub enum DriverOut {
     HighZ,
 }
 
+/// Digital classification of a driver output node. The three cases are
+/// *physically distinct* and downstream logic must not conflate them:
+/// `HighZ` is a verified open circuit (safe to wire-OR on a shared lane),
+/// while `Ambiguous` is an actively driven mid-rail voltage — contention
+/// or a broken stage — which corrupts anything it touches. The old
+/// `Option<Option<bool>>` encoding collapsed both to "no value" one
+/// `.flatten()` away.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DriverLevel {
+    /// Actively driven to a clean rail.
+    Driven(bool),
+    /// Verified high-impedance (Z): both output devices cut off.
+    HighZ,
+    /// Driven but analogue-ambiguous (X): the solved voltage sits between
+    /// the logic thresholds.
+    Ambiguous,
+}
+
+impl DriverLevel {
+    /// The rail value when cleanly driven (`None` for both X and Z — only
+    /// use where that distinction genuinely does not matter).
+    pub fn driven(self) -> Option<bool> {
+        match self {
+            DriverLevel::Driven(v) => Some(v),
+            DriverLevel::HighZ | DriverLevel::Ambiguous => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DriverLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverLevel::Driven(true) => write!(f, "1"),
+            DriverLevel::Driven(false) => write!(f, "0"),
+            DriverLevel::HighZ => write!(f, "Z"),
+            DriverLevel::Ambiguous => write!(f, "X"),
+        }
+    }
+}
+
 /// Device-level model of the Fig. 5 configurable driver: an input stage and
 /// an output stage, each a complementary pair with independent back-gate
 /// biases.
@@ -216,18 +256,19 @@ impl ConfigurableDriver {
         }
     }
 
-    /// Digital view of the driver: `Some(bool)` when driving, `None` for Z.
-    pub fn eval_logic(&self, input: bool, mode: DriverMode) -> Option<Option<bool>> {
+    /// Digital view of the driver: a rail, a verified Hi-Z, or an
+    /// analogue-ambiguous mid-rail level — kept as three distinct cases.
+    pub fn eval_logic(&self, input: bool, mode: DriverMode) -> DriverLevel {
         let vin = if input { self.stage.vdd } else { 0.0 };
         match self.output(vin, mode) {
-            DriverOut::HighZ => Some(None),
+            DriverOut::HighZ => DriverLevel::HighZ,
             DriverOut::Voltage(v) => {
                 if v <= self.stage.vdd * LOGIC_LO_FRAC {
-                    Some(Some(false))
+                    DriverLevel::Driven(false)
                 } else if v >= self.stage.vdd * LOGIC_HI_FRAC {
-                    Some(Some(true))
+                    DriverLevel::Driven(true)
                 } else {
-                    None
+                    DriverLevel::Ambiguous
                 }
             }
         }
@@ -278,13 +319,44 @@ mod tests {
     #[test]
     fn fig5_driver_modes() {
         let d = ConfigurableDriver::default();
-        assert_eq!(d.eval_logic(true, DriverMode::Inverting), Some(Some(false)));
-        assert_eq!(d.eval_logic(false, DriverMode::Inverting), Some(Some(true)));
-        assert_eq!(d.eval_logic(true, DriverMode::NonInverting), Some(Some(true)));
-        assert_eq!(d.eval_logic(false, DriverMode::NonInverting), Some(Some(false)));
-        assert_eq!(d.eval_logic(true, DriverMode::OpenCircuit), Some(None));
-        assert_eq!(d.eval_logic(false, DriverMode::OpenCircuit), Some(None));
-        assert_eq!(d.eval_logic(true, DriverMode::Pass), Some(Some(true)));
+        assert_eq!(d.eval_logic(true, DriverMode::Inverting), DriverLevel::Driven(false));
+        assert_eq!(d.eval_logic(false, DriverMode::Inverting), DriverLevel::Driven(true));
+        assert_eq!(d.eval_logic(true, DriverMode::NonInverting), DriverLevel::Driven(true));
+        assert_eq!(d.eval_logic(false, DriverMode::NonInverting), DriverLevel::Driven(false));
+        assert_eq!(d.eval_logic(true, DriverMode::OpenCircuit), DriverLevel::HighZ);
+        assert_eq!(d.eval_logic(false, DriverMode::OpenCircuit), DriverLevel::HighZ);
+        assert_eq!(d.eval_logic(true, DriverMode::Pass), DriverLevel::Driven(true));
+    }
+
+    #[test]
+    fn ambiguous_and_highz_are_distinct() {
+        // A depletion-mode pull-up (negative V_T0) conducts even at
+        // vin = VDD, perfectly contending with the default NMOS: the
+        // solved output sits at VDD/2 — an X, not a Z. The old
+        // Option<Option<bool>> return collapsed this onto Hi-Z after the
+        // `.flatten()` every call site reached for.
+        let broken = ConfigurableDriver {
+            stage: ConfigurableInverter {
+                pmos: DgMosfet { vt0: -0.75, ..DgMosfet::pmos() },
+                ..ConfigurableInverter::default()
+            },
+            ..ConfigurableDriver::default()
+        };
+        let x = broken.eval_logic(true, DriverMode::Inverting);
+        // Z from a healthy driver: a −0.75 V depletion pull-up cannot be
+        // cut off even at the +2 V configuration extreme (the open-circuit
+        // leakage assert correctly fires), which is rather the point — an
+        // X-producing stage and a Z-producing stage are different devices.
+        let z = ConfigurableDriver::default().eval_logic(true, DriverMode::OpenCircuit);
+        assert_eq!(x, DriverLevel::Ambiguous, "contended node must classify as X");
+        assert_eq!(z, DriverLevel::HighZ, "open circuit must classify as Z");
+        assert_ne!(x, z, "X and Z must never compare equal");
+        // both are "not a clean rail", which is all `.driven()` may erase
+        assert_eq!(x.driven(), None);
+        assert_eq!(z.driven(), None);
+        assert_eq!(format!("{x}/{z}"), "X/Z");
+        // the undamaged half of the curve still drives cleanly
+        assert_eq!(broken.eval_logic(false, DriverMode::Inverting), DriverLevel::Driven(true));
     }
 
     #[test]

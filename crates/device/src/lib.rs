@@ -36,7 +36,9 @@ pub mod variation;
 pub mod vtc;
 
 pub use dynamics::{extract_timing, ExtractedTiming, SwitchingModel};
-pub use gates::{ConfigurableDriver, ConfigurableNand, DriverMode, DriverOut, NandOutput};
+pub use gates::{
+    ConfigurableDriver, ConfigurableNand, DriverLevel, DriverMode, DriverOut, NandOutput,
+};
 pub use leaf::{CellMode, LeafCell, Trit};
 pub use mosfet::{DgMosfet, Polarity};
 pub use rtd::{Equilibrium, Peak, Rtd, RtdRamCell, RtdStack};

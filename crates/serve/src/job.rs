@@ -20,6 +20,7 @@
 //! | `truth_sweep` | netlist → tech map → 64-lane exhaustive sweep | per-output `WideMask` truth tables |
 //! | `fault_campaign` | defect sampling over a fabric (E19 kernel) | per-trial defect/bad-block counts |
 //! | `place_route` | netlist → tech map → seeded place + route + timing (hierarchical partitioned flow above [`hier::HIER_LUT_THRESHOLD`] LUTs, or on explicit `partitions >= 2`) | placement, wirelength, critical path, LUT config image |
+//! | `poly_sweep` | polymorphic spec → bi-decomposition synthesis → per-mode exhaustive bitsim proof | mode-indexed cell config table + verified truth masks |
 //! | `sleep` | diagnostic: cancellable timed steps | steps completed |
 //!
 //! `sleep` is deliberately uncacheable (and is the lever the e2e suite
@@ -170,6 +171,15 @@ pub enum JobSpec {
         /// the canonical spec, so it is part of the content address.
         partitions: usize,
     },
+    /// Polymorphic synthesis + proof: bi-decompose the mode-selected
+    /// specification onto configurable NAND cells, then prove *every*
+    /// personality equivalent by exhaustive per-mode bitsim sweeps. The
+    /// payload is the netlist's per-mode `(Trit, Trit)` config table —
+    /// the RTD back-gate RAM contents — plus the verified truth masks.
+    PolySweep {
+        /// The validated polymorphic specification.
+        truth: pmorph_synth::poly::PolyTruth,
+    },
     /// Diagnostic job: `steps` sleeps of `step_ms`, checking
     /// cancellation between steps. Never cached.
     Sleep {
@@ -242,6 +252,90 @@ fn get_circuit(obj: &Value) -> Result<CircuitSpec, SpecError> {
     })?;
     let size = get_int(obj, "size", 2, 64)? as usize;
     Ok(CircuitSpec { kind, size })
+}
+
+/// Mode-count ceiling a `poly_sweep` accepts. Arbitrary but explicit:
+/// the RTD bias DAC in the paper's platform exposes a handful of
+/// distinguishable states, and the canonical-form size stays bounded.
+pub const POLY_SWEEP_MAX_MODES: usize = 8;
+
+/// Parse the [`mask_hex`] image back into a `WideMask`, strictly:
+/// exactly `word_count(vars)` colon-separated 16-digit words,
+/// most-significant word first. Rejecting rather than padding keeps one
+/// canonical spelling per mask (modulo hex case, which canonicalizes).
+fn mask_from_hex(vars: usize, text: &str) -> Result<WideMask, SpecError> {
+    let parts: Vec<&str> = text.split(':').collect();
+    let want = WideMask::word_count(vars);
+    if parts.len() != want {
+        return Err(err(format!(
+            "mask for {vars} vars needs {want} 16-digit word(s), got {}",
+            parts.len()
+        )));
+    }
+    let mut words = Vec::with_capacity(want);
+    for p in parts.iter().rev() {
+        if p.len() != 16 || !p.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(err(format!("mask word `{p}` is not 16 hex digits")));
+        }
+        words.push(u64::from_str_radix(p, 16).expect("validated hex"));
+    }
+    let mask = WideMask::from_words(vars, words.clone());
+    if mask.words() != words.as_slice() {
+        return Err(err(format!("mask has bits above the {vars}-variable lane limit")));
+    }
+    Ok(mask)
+}
+
+/// Parse and validate the `modes` array of a `poly_sweep`.
+fn get_poly_truth(doc: &Value) -> Result<pmorph_synth::poly::PolyTruth, SpecError> {
+    use pmorph_synth::poly::MAX_SYNTH_VARS;
+    let vars = get_int(doc, "vars", 1, MAX_SYNTH_VARS as u64)? as usize;
+    let modes = doc
+        .get("modes")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("missing array field `modes`"))?;
+    // 0 or 1 modes is not a *polymorphic* job — reject loudly rather
+    // than degenerate into a plain truth sweep
+    if modes.len() < 2 {
+        return Err(err(format!(
+            "poly_sweep needs at least 2 modes (a polymorphic function has \
+             several personalities), got {}",
+            modes.len()
+        )));
+    }
+    if modes.len() > POLY_SWEEP_MAX_MODES {
+        return Err(err(format!(
+            "poly_sweep supports at most {POLY_SWEEP_MAX_MODES} modes, got {}",
+            modes.len()
+        )));
+    }
+    let mut pairs = Vec::with_capacity(modes.len());
+    for (i, m) in modes.iter().enumerate() {
+        check_fields(m, &["name", "mask"]).map_err(|e| err(format!("modes[{i}]: {e}")))?;
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err(format!("modes[{i}]: missing string field `name`")))?;
+        if name.is_empty()
+            || name.len() > 32
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(err(format!(
+                "modes[{i}]: name must be 1..=32 chars of [A-Za-z0-9_-], got `{name}`"
+            )));
+        }
+        if pairs.iter().any(|(n, _)| n == name) {
+            return Err(err(format!("modes[{i}]: duplicate mode name `{name}`")));
+        }
+        let mask_text = m
+            .get("mask")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err(format!("modes[{i}]: missing string field `mask`")))?;
+        let mask = mask_from_hex(vars, mask_text).map_err(|e| err(format!("modes[{i}]: {e}")))?;
+        pairs.push((name.to_string(), mask));
+    }
+    pmorph_synth::poly::PolyTruth::new(pairs)
+        .map_err(|e| err(format!("invalid polymorphic spec: {e}")))
 }
 
 impl JobSpec {
@@ -321,6 +415,10 @@ impl JobSpec {
                     partitions,
                 })
             }
+            "poly_sweep" => {
+                check_fields(doc, &["type", "vars", "modes"])?;
+                Ok(JobSpec::PolySweep { truth: get_poly_truth(doc)? })
+            }
             "sleep" => {
                 check_fields(doc, &["type", "steps", "step_ms"])?;
                 Ok(JobSpec::Sleep {
@@ -330,7 +428,7 @@ impl JobSpec {
             }
             other => Err(err(format!(
                 "unknown job type `{other}` (one of: truth_sweep, seq_sweep, \
-                 fault_campaign, place_route, sleep)"
+                 fault_campaign, place_route, poly_sweep, sleep)"
             ))),
         }
     }
@@ -342,6 +440,7 @@ impl JobSpec {
             JobSpec::SeqSweep { .. } => "seq_sweep",
             JobSpec::FaultCampaign { .. } => "fault_campaign",
             JobSpec::PlaceRoute { .. } => "place_route",
+            JobSpec::PolySweep { .. } => "poly_sweep",
             JobSpec::Sleep { .. } => "sleep",
         }
     }
@@ -375,6 +474,25 @@ impl JobSpec {
                 obj.set("candidates", Value::Num(*candidates as f64));
                 obj.set("seed", Value::Num(*seed as f64));
                 obj.set("partitions", Value::Num(*partitions as f64));
+            }
+            JobSpec::PolySweep { truth } => {
+                obj.set("vars", Value::Num(truth.vars() as f64));
+                obj.set(
+                    "modes",
+                    Value::Array(
+                        truth
+                            .mode_names()
+                            .iter()
+                            .enumerate()
+                            .map(|(i, name)| {
+                                let mut m = Value::object();
+                                m.set("name", Value::Str(name.clone()));
+                                m.set("mask", Value::Str(mask_hex(truth.mask(i))));
+                                m
+                            })
+                            .collect(),
+                    ),
+                );
             }
             JobSpec::Sleep { steps, step_ms } => {
                 obj.set("steps", Value::Num(*steps as f64));
@@ -600,6 +718,97 @@ pub fn run(spec: &JobSpec, cache: &ArtifactCache, cancel: &AtomicBool) -> Result
                 ),
             );
         }
+        JobSpec::PolySweep { truth } => {
+            use pmorph_device::Trit;
+            use pmorph_synth::poly::{synthesize, PNet};
+            fn trit_sym(t: Trit) -> &'static str {
+                match t {
+                    Trit::Minus => "-",
+                    Trit::Zero => "0",
+                    Trit::Plus => "+",
+                }
+            }
+            fn pnet_name(p: PNet) -> String {
+                match p {
+                    PNet::Input(v) => format!("x{v}"),
+                    PNet::Cell(i) => format!("c{i}"),
+                }
+            }
+            let s = synthesize(truth)
+                .map_err(|e| JobError::Failed(format!("synthesis failed: {e}")))?;
+            check_cancel(cancel)?;
+            // the contract: no poly_sweep artifact ships unproven — every
+            // personality is swept exhaustively before the payload exists
+            s.netlist
+                .verify(truth, &SweepConfig::new())
+                .map_err(|e| JobError::Failed(format!("personality proof failed: {e}")))?;
+            payload.set("vars", Value::Num(truth.vars() as f64));
+            payload.set("cells", Value::Num(s.netlist.cell_count() as f64));
+            payload.set("poly_cells", Value::Num(s.netlist.poly_cell_count() as f64));
+            payload.set("depth", Value::Num(s.netlist.depth() as f64));
+            payload.set("config_bits", Value::Num(s.netlist.config_bits() as f64));
+            payload.set("fits_6x6", Value::Bool(s.netlist.fits_fabric(6, 6)));
+            payload.set("output", Value::Str(pnet_name(s.netlist.output())));
+            // the per-mode back-gate RAM contents, one row per cell
+            payload.set(
+                "config_table",
+                Value::Array(
+                    s.netlist
+                        .cells()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, cell)| {
+                            let mut row = Value::object();
+                            row.set("cell", Value::Str(format!("c{i}")));
+                            row.set("a", Value::Str(pnet_name(cell.a)));
+                            row.set("b", Value::Str(pnet_name(cell.b)));
+                            row.set(
+                                "configs",
+                                Value::Array(
+                                    cell.configs()
+                                        .iter()
+                                        .map(|(ca, cb)| {
+                                            Value::Str(format!(
+                                                "{}{}",
+                                                trit_sym(*ca),
+                                                trit_sym(*cb)
+                                            ))
+                                        })
+                                        .collect(),
+                                ),
+                            );
+                            row
+                        })
+                        .collect(),
+                ),
+            );
+            // the proven personalities (== the spec, by the sweep above)
+            payload.set(
+                "proof",
+                Value::Array(
+                    truth
+                        .mode_names()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, name)| {
+                            let mut m = Value::object();
+                            m.set("mode", Value::Str(name.clone()));
+                            m.set("mask", Value::Str(mask_hex(truth.mask(i))));
+                            m.set("ones", Value::Num(truth.mask(i).count_ones() as f64));
+                            m
+                        })
+                        .collect(),
+                ),
+            );
+            let mut st = Value::object();
+            st.set("leaf", Value::Num(s.stats.leaf as f64));
+            st.set("and_bidec", Value::Num(s.stats.and_bidec as f64));
+            st.set("or_bidec", Value::Num(s.stats.or_bidec as f64));
+            st.set("xor_bidec", Value::Num(s.stats.xor_bidec as f64));
+            st.set("shannon", Value::Num(s.stats.shannon as f64));
+            st.set("memo_hits", Value::Num(s.stats.memo_hits as f64));
+            payload.set("stats", st);
+        }
         JobSpec::Sleep { steps, step_ms } => {
             let mut done = 0usize;
             for _ in 0..*steps {
@@ -775,6 +984,123 @@ mod tests {
         let short = run(&a, &cache, &cancel).unwrap();
         let truth = short.get("truth").and_then(Value::as_array).unwrap();
         assert_eq!(truth[3].get("ones").and_then(Value::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn poly_sweep_parses_canonicalizes_and_runs() {
+        // XOR / XNOR: the canonical polymorphic pair
+        let text = r#"{"type":"poly_sweep","vars":2,"modes":[
+            {"name":"nominal","mask":"0000000000000006"},
+            {"name":"biased","mask":"0000000000000009"}]}"#;
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.kind(), "poly_sweep");
+        assert!(spec.cacheable(), "poly_sweep is a pure function of its spec");
+        let again = parse_spec(&spec.canonical()).unwrap();
+        assert_eq!(spec, again, "canonical form round-trips");
+        // mode order is semantic (it indexes the config table), so
+        // swapping modes is a different job
+        let swapped = parse_spec(
+            r#"{"type":"poly_sweep","vars":2,"modes":[
+                {"name":"biased","mask":"0000000000000009"},
+                {"name":"nominal","mask":"0000000000000006"}]}"#,
+        )
+        .unwrap();
+        assert_ne!(spec.cache_key(), swapped.cache_key());
+        let cache = ArtifactCache::new();
+        let cancel = AtomicBool::new(false);
+        let payload = run(&spec, &cache, &cancel).unwrap();
+        assert!(payload.get("poly_cells").and_then(Value::as_f64).unwrap() >= 1.0);
+        assert_eq!(payload.get("fits_6x6"), Some(&Value::Bool(true)));
+        let proof = payload.get("proof").and_then(Value::as_array).unwrap();
+        assert_eq!(proof[0].get("mask").and_then(Value::as_str), Some("0000000000000006"));
+        assert_eq!(proof[1].get("mask").and_then(Value::as_str), Some("0000000000000009"));
+        let table = payload.get("config_table").and_then(Value::as_array).unwrap();
+        assert_eq!(table.len(), payload.get("cells").and_then(Value::as_f64).unwrap() as usize);
+        // every config entry is two trit symbols, one per mode
+        for row in table {
+            let configs = row.get("configs").and_then(Value::as_array).unwrap();
+            assert_eq!(configs.len(), 2);
+            for c in configs {
+                let s = c.as_str().unwrap();
+                assert!(s.len() == 2 && s.chars().all(|ch| "+-0".contains(ch)), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn poly_sweep_rejects_degenerate_and_hostile_specs() {
+        for (text, needle) in [
+            (r#"{"type":"poly_sweep","vars":2,"modes":[]}"#, "at least 2 modes"),
+            (
+                r#"{"type":"poly_sweep","vars":2,"modes":[{"name":"a","mask":"0000000000000006"}]}"#,
+                "at least 2 modes",
+            ),
+            (
+                r#"{"type":"poly_sweep","vars":2,"modes":[
+                    {"name":"a","mask":"0000000000000006"},
+                    {"name":"a","mask":"0000000000000009"}]}"#,
+                "duplicate mode name `a`",
+            ),
+            (
+                r#"{"type":"poly_sweep","vars":2,"modes":[
+                    {"name":"a","mask":"06"},
+                    {"name":"b","mask":"0000000000000009"}]}"#,
+                "not 16 hex digits",
+            ),
+            (
+                r#"{"type":"poly_sweep","vars":2,"modes":[
+                    {"name":"a","mask":"00000000000000f6"},
+                    {"name":"b","mask":"0000000000000009"}]}"#,
+                "lane limit",
+            ),
+            (
+                r#"{"type":"poly_sweep","vars":7,"modes":[
+                    {"name":"a","mask":"0000000000000006"},
+                    {"name":"b","mask":"0000000000000009"}]}"#,
+                "needs 2 16-digit word(s), got 1",
+            ),
+            (r#"{"type":"poly_sweep","vars":13,"modes":[]}"#, "field `vars` must be in 1..=12"),
+            (
+                r#"{"type":"poly_sweep","vars":2,"modes":[
+                    {"name":"", "mask":"0000000000000006"},
+                    {"name":"b","mask":"0000000000000009"}]}"#,
+                "1..=32 chars",
+            ),
+            (
+                r#"{"type":"poly_sweep","vars":2,"modes":[
+                    {"name":"a","mask":"0000000000000006","x":1},
+                    {"name":"b","mask":"0000000000000009"}]}"#,
+                "unknown field `x`",
+            ),
+            (r#"{"type":"poly_sweep","vars":2,"modes":[1,2]}"#, "modes[0]"),
+        ] {
+            let e = parse_spec(text).expect_err(text);
+            assert!(e.0.contains(needle), "{text}: got {e}");
+        }
+        // and a count past the ceiling
+        let many: Vec<String> =
+            (0..9).map(|i| format!(r#"{{"name":"m{i}","mask":"{:016x}"}}"#, i)).collect();
+        let text = format!(r#"{{"type":"poly_sweep","vars":2,"modes":[{}]}}"#, many.join(","));
+        let e = parse_spec(&text).unwrap_err();
+        assert!(e.0.contains("at most 8 modes"), "{e}");
+    }
+
+    #[test]
+    fn poly_sweep_hex_case_canonicalizes_to_one_address() {
+        let lower = parse_spec(
+            r#"{"type":"poly_sweep","vars":3,"modes":[
+                {"name":"a","mask":"000000000000001e"},
+                {"name":"b","mask":"00000000000000e1"}]}"#,
+        )
+        .unwrap();
+        let upper = parse_spec(
+            r#"{"type":"poly_sweep","vars":3,"modes":[
+                {"name":"a","mask":"000000000000001E"},
+                {"name":"b","mask":"00000000000000E1"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(lower, upper);
+        assert_eq!(lower.cache_key(), upper.cache_key());
     }
 
     #[test]

@@ -16,12 +16,14 @@ use pmorph_util::json::Value;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-/// The three production job types, sized to finish fast but exercise the
-/// sharded engine for real.
-const SPECS: [&str; 3] = [
+/// The four production job types, sized to finish fast but exercise the
+/// sharded engine for real. The `poly_sweep` is the 8-variable odd/even
+/// parity pair: 256 minterms → four shard words per mode proof.
+const SPECS: [&str; 4] = [
     r#"{"type":"truth_sweep","circuit":"ripple_adder","size":5}"#,
     r#"{"type":"fault_campaign","width":16,"height":16,"rate":0.02,"trials":24,"seed":77}"#,
     r#"{"type":"place_route","circuit":"registered_pipeline","size":10,"candidates":6,"seed":5}"#,
+    r#"{"type":"poly_sweep","vars":8,"modes":[{"name":"odd","mask":"6996966996696996:9669699669969669:9669699669969669:6996966996696996"},{"name":"even","mask":"9669699669969669:6996966996696996:6996966996696996:9669699669969669"}]}"#,
 ];
 
 fn start(workers: usize) -> ServerHandle {

@@ -432,3 +432,66 @@ fn submit_response_is_valid_json_with_wire_id() {
     assert_eq!(doc.get("cache_hit").and_then(json::Value::as_bool), Some(false));
     server.shutdown(true);
 }
+
+#[test]
+fn poly_sweep_happy_path() {
+    let server = start(2);
+    // one circuit: full-adder sum in "ground", majority carry in "biased"
+    let payload = run_to_payload(
+        server.addr(),
+        r#"{"type":"poly_sweep","vars":3,"modes":[
+            {"name":"ground","mask":"0000000000000096"},
+            {"name":"biased","mask":"00000000000000e8"}]}"#,
+    );
+    assert_eq!(payload.get("type").and_then(Value::as_str), Some("poly_sweep"));
+    assert_eq!(payload.get("vars").and_then(Value::as_f64), Some(3.0));
+    assert_eq!(payload.get("fits_6x6"), Some(&Value::Bool(true)));
+    assert!(payload.get("poly_cells").and_then(Value::as_f64).unwrap() >= 1.0);
+    let cells = payload.get("cells").and_then(Value::as_f64).unwrap() as usize;
+    let table = payload.get("config_table").and_then(Value::as_array).unwrap();
+    assert_eq!(table.len(), cells, "one config row per cell");
+    // the proof section echoes the spec masks — they were verified by
+    // exhaustive per-mode sweeps before the payload was built
+    let proof = payload.get("proof").and_then(Value::as_array).unwrap();
+    assert_eq!(proof.len(), 2);
+    assert_eq!(proof[0].get("mode").and_then(Value::as_str), Some("ground"));
+    assert_eq!(proof[0].get("mask").and_then(Value::as_str), Some("0000000000000096"));
+    assert_eq!(proof[1].get("mask").and_then(Value::as_str), Some("00000000000000e8"));
+    server.shutdown(true);
+}
+
+#[test]
+fn poly_sweep_degenerate_mode_lists_get_400_over_tcp() {
+    let server = start(1);
+    let addr = server.addr();
+    // zero modes, one mode, duplicate names: each must be an orderly 400
+    // with a pointed message — never a panic, never a silent accept
+    for (body, needle) in [
+        (r#"{"type":"poly_sweep","vars":2,"modes":[]}"#, "at least 2 modes"),
+        (
+            r#"{"type":"poly_sweep","vars":2,"modes":[{"name":"only","mask":"0000000000000006"}]}"#,
+            "at least 2 modes",
+        ),
+        (
+            r#"{"type":"poly_sweep","vars":2,"modes":[
+                {"name":"dup","mask":"0000000000000006"},
+                {"name":"dup","mask":"0000000000000009"}]}"#,
+            "duplicate mode name",
+        ),
+        (
+            r#"{"type":"poly_sweep","vars":2,"modes":[
+                {"name":"a","mask":"zz"},
+                {"name":"b","mask":"0000000000000009"}]}"#,
+            "mask",
+        ),
+    ] {
+        let resp = post(addr, "/jobs", body);
+        assert_eq!(resp.status, 400, "{body}: {}", String::from_utf8_lossy(&resp.body));
+        let err = resp.json().unwrap();
+        let msg = err.get("error").and_then(Value::as_str).unwrap();
+        assert!(msg.contains(needle), "{body}: got {msg}");
+    }
+    // the connection thread survived every rejection
+    assert_eq!(get(addr, "/metrics").status, 200);
+    server.shutdown(true);
+}

@@ -76,6 +76,14 @@ pub fn hazard_free_cover(tt: &TruthTable) -> Sop {
     make_hazard_free(tt, &base)
 }
 
+/// Width-checked [`hazard_free_cover`]: wide cones get a typed
+/// [`crate::tile::MapError::TooManyVars`] past [`crate::qm::QM_MAX_VARS`]
+/// rather than a panic or an intractable minimisation.
+pub fn try_hazard_free_cover(tt: &TruthTable) -> Result<Sop, crate::tile::MapError> {
+    let base = crate::qm::try_minimize(tt)?;
+    Ok(make_hazard_free(tt, &base))
+}
+
 /// Quick check used by tests and the async tiles.
 pub fn is_hazard_free(tt: &TruthTable, cover: &Sop) -> bool {
     static1_hazards(tt, cover).is_empty()

@@ -20,7 +20,12 @@
 //! * [`accumulator`] — adder + register + feedback (Fig. 10's datapath),
 //! * [`serial`] — bit-serial adder for the §5 serial-vs-parallel study,
 //! * [`route`] — BFS feed-through routing, including in-fabric feedback
-//!   rings ("cells as interconnect").
+//!   rings ("cells as interconnect"),
+//! * [`poly`] — polymorphic-logic synthesis: mode-selected truth tables
+//!   ([`PolyTruth`]), bi-decomposition onto mode-configurable NAND cells
+//!   ([`poly::synthesize`]), and gate-set completeness checking
+//!   ([`poly::is_complete`]), with every personality proven by exhaustive
+//!   bitsim sweeps.
 
 pub mod accumulator;
 pub mod adder;
@@ -28,6 +33,7 @@ pub mod counter;
 pub mod hazard;
 pub mod lut;
 pub mod mapk;
+pub mod poly;
 pub mod qm;
 pub mod register;
 pub mod route;
@@ -39,10 +45,16 @@ pub mod truth;
 pub use accumulator::{Accumulator, AccumulatorSim};
 pub use adder::{ripple_adder, AdderPorts, TERMS_PER_BIT};
 pub use counter::{Counter, CounterSim};
-pub use hazard::{hazard_free_cover, is_hazard_free, make_hazard_free, static1_hazards, Hazard};
+pub use hazard::{
+    hazard_free_cover, is_hazard_free, make_hazard_free, static1_hazards, try_hazard_free_cover,
+    Hazard,
+};
 pub use lut::{lut3, lut3_core, polarity_block, LutPorts};
 pub use mapk::{fabric_size_for, map_function, MappedFunction};
-pub use qm::{minimize, prime_implicants, Cube, Sop};
+pub use poly::{PolyError, PolyNetlist, PolyTruth};
+pub use qm::{
+    minimize, prime_implicants, try_minimize, try_prime_implicants, Cube, Sop, QM_MAX_VARS,
+};
 pub use register::{shift_register, ShiftRegisterPorts};
 pub use route::Router;
 pub use seq::{d_latch, dff, DffPorts, LatchPorts};

@@ -1,0 +1,102 @@
+//! Polymorphic-logic synthesis: one circuit, several functions, selected
+//! by the environment.
+//!
+//! The paper's headline property is that an RTD back-gate bias state
+//! re-personalises every configured NAND block *in place* — the same
+//! netlist computes a different function per named bias state ("mode").
+//! This module family mechanises the design side of that property along
+//! the lines of Luo & Li's bi-decomposition method for polymorphic
+//! combinational circuits (arXiv 1709.03067) and their gate-set
+//! completeness judgment (arXiv 1709.03065):
+//!
+//! * [`truth`] — [`PolyTruth`]: one [`pmorph_sim::table::WideMask`] per
+//!   named mode, the specification a polymorphic circuit is held to;
+//! * [`netlist`] — [`PolyNetlist`]: a fixed wiring of 2-input NAND cells
+//!   whose per-cell `(Trit, Trit)` back-gate configs are functions of the
+//!   mode, projectable to a plain [`pmorph_sim::Netlist`] per mode and
+//!   verified exhaustively against its `PolyTruth` by
+//!   [`pmorph_sim::bitsim`] sweeps sharded through `pmorph-exec`;
+//! * [`bidec`] — the synthesizer: disjoint AND/OR/XOR bi-decomposition
+//!   with a common variable partition across modes, polymorphic leaf
+//!   cells, memoised structure sharing, and a NAND-mux Shannon fallback;
+//! * [`complete`] — the completeness checker: decides whether a
+//!   configurable gate set can realise *every* polymorphic function
+//!   vector, by closure computation over mode-vectors of two-input
+//!   functions.
+//!
+//! The mode model: a **mode** is a named back-gate bias state. Each cell
+//! stores one personality per mode; [`netlist::config_for`] maps a
+//! personality to the `(Trit, Trit)` bias pair that the device-level
+//! [`pmorph_device::gates::ConfigurableNand`] solver certifies realises
+//! it (the Fig. 4 table, re-derived from voltages at first use, not
+//! assumed).
+
+pub mod bidec;
+pub mod complete;
+pub mod netlist;
+pub mod truth;
+
+pub use bidec::{synthesize, SynthStats, Synthesized, MAX_SYNTH_VARS};
+pub use complete::{closure, is_complete, tables, PolyGateSet, MAX_MODES};
+pub use netlist::{config_for, device_personality, PNet, PolyCell, PolyNetlist, VerifyError};
+pub use truth::PolyTruth;
+
+/// Typed errors for polymorphic specification and synthesis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PolyError {
+    /// More variables than the synthesizer (or mask type) supports.
+    TooManyVars {
+        /// Requested variable count.
+        needed: usize,
+        /// Supported maximum.
+        available: usize,
+    },
+    /// A polymorphic specification needs at least one variable.
+    NoVars,
+    /// Fewer than two modes — "polymorphic" starts at two personalities.
+    TooFewModes {
+        /// Mode count supplied.
+        got: usize,
+    },
+    /// More modes than the component supports.
+    TooManyModes {
+        /// Mode count supplied.
+        got: usize,
+        /// Supported maximum.
+        available: usize,
+    },
+    /// The same mode name appeared twice.
+    DuplicateMode(String),
+    /// A mode's mask arity disagrees with the first mode's.
+    ArityMismatch {
+        /// Offending mode name.
+        mode: String,
+        /// Its arity.
+        got: usize,
+        /// The specification arity.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for PolyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolyError::TooManyVars { needed, available } => {
+                write!(f, "{needed} variables exceed the supported {available}")
+            }
+            PolyError::NoVars => write!(f, "a polymorphic function needs at least one variable"),
+            PolyError::TooFewModes { got } => {
+                write!(f, "at least 2 modes required, got {got}")
+            }
+            PolyError::TooManyModes { got, available } => {
+                write!(f, "at most {available} modes supported, got {got}")
+            }
+            PolyError::DuplicateMode(name) => write!(f, "duplicate mode name {name:?}"),
+            PolyError::ArityMismatch { mode, got, want } => {
+                write!(f, "mode {mode:?} has {got} variables, expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolyError {}

@@ -6,30 +6,55 @@
 //! essential primes first, then greedily by coverage (optimal enough at
 //! this scale, and validated against the input truth table by property
 //! tests).
+//!
+//! Wider cones are legal inputs too — mapping-flow *checks* routinely
+//! minimise 7–12 variable functions — so [`Cube`] carries `u32`
+//! care/value words (matching [`WideMask`]'s 20-variable range) and the
+//! checked entry points ([`try_prime_implicants`], [`try_minimize`])
+//! refuse anything past [`QM_MAX_VARS`] with a typed
+//! [`MapError::TooManyVars`] instead of running the O(minterms²) merge
+//! loop into the ground. The `u8`-cube era silently truncated minterms at
+//! n ≥ 9 and produced *wrong covers* without any panic; the regression
+//! suite in `tests/wide_qm.rs` pins the repaired behaviour.
+//!
+//! [`WideMask`]: pmorph_sim::table::WideMask
 
+use crate::tile::MapError;
 use crate::truth::TruthTable;
 
-/// A product term (cube) over up to 6 variables: variable `v` appears iff
-/// bit `v` of `care` is set, with the polarity given by bit `v` of `value`.
+/// Exact Quine–McCluskey stays tractable to about this many variables
+/// (minterm-pair merging is quadratic in the ON-set, which can reach
+/// `2^n`). The checked entry points reject wider tables with a typed
+/// error; the fabric's own mapping flow never needs more than 6.
+pub const QM_MAX_VARS: usize = 12;
+
+/// A product term (cube) over up to [`Cube::MAX_VARS`] variables:
+/// variable `v` appears iff bit `v` of `care` is set, with the polarity
+/// given by bit `v` of `value`.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Cube {
     /// Cared-variable mask.
-    pub care: u8,
+    pub care: u32,
     /// Polarities of cared variables (uncared bits zero).
-    pub value: u8,
+    pub value: u32,
 }
 
 impl Cube {
+    /// Widest minterm a cube can carry — comfortably past
+    /// `WideMask::MAX_VARS`, so every representable truth table fits.
+    pub const MAX_VARS: usize = 32;
+
     /// The full-care cube of a single minterm.
     pub fn minterm(n: usize, m: u64) -> Self {
-        let care = ((1u16 << n) - 1) as u8;
-        Cube { care, value: (m as u8) & care }
+        assert!(n <= Self::MAX_VARS, "cube holds at most {} variables (got {n})", Self::MAX_VARS);
+        let care = if n == Self::MAX_VARS { u32::MAX } else { (1u32 << n) - 1 };
+        Cube { care, value: (m as u32) & care }
     }
 
     /// Does this cube cover minterm `m`?
     #[inline]
     pub fn covers(&self, m: u64) -> bool {
-        (m as u8) & self.care == self.value
+        (m as u32) & self.care == self.value
     }
 
     /// Number of literals in the product.
@@ -52,7 +77,10 @@ impl Cube {
 
     /// The literals as `(variable, positive)` pairs.
     pub fn literal_list(&self) -> Vec<(usize, bool)> {
-        (0..8).filter(|v| self.care >> v & 1 == 1).map(|v| (v, self.value >> v & 1 == 1)).collect()
+        (0..Self::MAX_VARS)
+            .filter(|v| self.care >> v & 1 == 1)
+            .map(|v| (v, self.value >> v & 1 == 1))
+            .collect()
     }
 }
 
@@ -78,6 +106,28 @@ impl Sop {
     pub fn literals(&self) -> u32 {
         self.cubes.iter().map(|c| c.literals()).sum()
     }
+}
+
+/// Reject tables past the exact-QM tractability bound with a typed error.
+fn check_width(tt: &TruthTable) -> Result<(), MapError> {
+    if tt.vars() > QM_MAX_VARS {
+        return Err(MapError::TooManyVars { needed: tt.vars(), available: QM_MAX_VARS });
+    }
+    Ok(())
+}
+
+/// Width-checked [`prime_implicants`]: `Err(MapError::TooManyVars)` past
+/// [`QM_MAX_VARS`] instead of a panic or an intractable run.
+pub fn try_prime_implicants(tt: &TruthTable) -> Result<Vec<Cube>, MapError> {
+    check_width(tt)?;
+    Ok(prime_implicants(tt))
+}
+
+/// Width-checked [`minimize`]: `Err(MapError::TooManyVars)` past
+/// [`QM_MAX_VARS`] instead of a panic or an intractable run.
+pub fn try_minimize(tt: &TruthTable) -> Result<Sop, MapError> {
+    check_width(tt)?;
+    Ok(minimize(tt))
 }
 
 /// All prime implicants of `tt` (classic iterated-merging pass).

@@ -1,0 +1,145 @@
+//! Property suite for the polymorphic bi-decomposition synthesizer: every
+//! synthesized circuit must have *all* of its mode personalities proven
+//! equivalent to the `PolyTruth` by exhaustive `bitsim` sweeps — and the
+//! proof must not depend on the worker count the sweep happens to run at.
+//!
+//! The thread matrix here is the one the CI workflow pins
+//! (`PMORPH_THREADS ∈ {1, 8}`): the per-mode truth masks recovered by
+//! `sweep_truth` must be *bit-identical* across thread counts, not just
+//! equivalent, because `pmorph-serve` content-addresses sweep artifacts
+//! by their bytes.
+
+use pmorph_exec::SweepConfig;
+use pmorph_sim::bitsim::{sweep_truth, BitSim};
+use pmorph_sim::table::WideMask;
+use pmorph_synth::poly::{synthesize, PolyTruth};
+use pmorph_util::env::EnvGuard;
+use pmorph_util::rng::StdRng;
+
+fn spec(vars: usize, fs: Vec<(&str, Box<dyn FnMut(u64) -> bool>)>) -> PolyTruth {
+    PolyTruth::new(
+        fs.into_iter().map(|(n, mut f)| (n.to_string(), WideMask::from_fn(vars, &mut f))).collect(),
+    )
+    .unwrap()
+}
+
+/// Sweep one mode's projected netlist and return the recovered mask.
+fn sweep_mode(truth: &PolyTruth, mode: usize, cfg: &SweepConfig) -> WideMask {
+    let synthesized = synthesize(truth).expect("within MAX_SYNTH_VARS");
+    let (netlist, inputs, output) = synthesized.netlist.netlist_for_mode(mode);
+    let sim = BitSim::new(netlist).expect("combinational by construction");
+    let masks = sweep_truth(&sim, &inputs, &[output], cfg);
+    masks[0].clone().expect("fully resolved — no X/Z in a NAND netlist")
+}
+
+#[test]
+fn every_personality_is_proven_by_exhaustive_sweep() {
+    let cases: Vec<(usize, Vec<(&str, Box<dyn FnMut(u64) -> bool>)>)> = vec![
+        (
+            2,
+            vec![
+                ("xor", Box::new(|m: u64| m.count_ones() % 2 == 1)),
+                ("xnor", Box::new(|m: u64| m.count_ones() % 2 == 0)),
+            ],
+        ),
+        (
+            3,
+            vec![
+                ("sum", Box::new(|m: u64| m.count_ones() % 2 == 1)),
+                ("carry", Box::new(|m: u64| m.count_ones() >= 2)),
+            ],
+        ),
+        (
+            4,
+            vec![
+                ("and4", Box::new(|m: u64| m == 0xF)),
+                ("nor4", Box::new(|m: u64| m == 0)),
+                ("par4", Box::new(|m: u64| m.count_ones() % 2 == 0)),
+            ],
+        ),
+    ];
+    let cfg = SweepConfig::new().with_workers(2);
+    for (vars, fs) in cases {
+        let truth = spec(vars, fs);
+        let s = synthesize(&truth).unwrap();
+        s.netlist.verify(&truth, &cfg).expect("all personalities equivalent");
+        // and the negative direction: a deliberately wrong spec is caught
+        let wrong = PolyTruth::new(
+            truth
+                .mode_names()
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    let m = truth.mask(i).clone();
+                    (n.clone(), if i == 0 { m.not() } else { m })
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert!(s.netlist.verify(&wrong, &cfg).is_err(), "flipped mode 0 must not verify");
+    }
+}
+
+#[test]
+fn random_specs_verify_under_the_ci_thread_matrix() {
+    let mut rng = StdRng::seed_from_u64(0xB1DEC);
+    for vars in 2..=5usize {
+        for case in 0..4u64 {
+            let _ = case;
+            let truth = PolyTruth::new(
+                ["lo", "hi"]
+                    .iter()
+                    .map(|s| (s.to_string(), WideMask::from_fn(vars, |_| rng.next_u64() & 1 == 1)))
+                    .collect(),
+            )
+            .unwrap();
+            let s = synthesize(&truth).unwrap();
+            for threads in ["1", "8"] {
+                let mut env = EnvGuard::new();
+                env.set("PMORPH_THREADS", threads);
+                s.netlist
+                    .verify(&truth, &SweepConfig::new())
+                    .unwrap_or_else(|e| panic!("{vars} vars @ {threads} threads: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn recovered_masks_are_bit_identical_across_thread_counts() {
+    // n = 8 → 256 minterms → 4 shard items, so an 8-worker pool genuinely
+    // races shards; determinism must come from the merge order, not luck
+    let truth = spec(
+        8,
+        vec![("mod5", Box::new(|m: u64| m % 5 == 0)), ("mod7", Box::new(|m: u64| m % 7 == 0))],
+    );
+    for mode in 0..truth.mode_count() {
+        let mut words: Vec<Vec<u64>> = Vec::new();
+        for threads in ["1", "8"] {
+            let mut env = EnvGuard::new();
+            env.set("PMORPH_THREADS", threads);
+            let mask = sweep_mode(&truth, mode, &SweepConfig::new());
+            assert_eq!(&mask, truth.mask(mode), "mode {mode} truth @ {threads} threads");
+            words.push(mask.words().to_vec());
+        }
+        assert_eq!(words[0], words[1], "mode {mode}: sweep words differ across thread counts");
+    }
+}
+
+#[test]
+fn wide_specs_exercise_multiple_shards_per_sweep() {
+    // 10 variables = 1024 minterms = 16 shard items; explicit worker and
+    // shard-size overrides rather than the env, to pin the shape
+    let truth = spec(
+        10,
+        vec![
+            ("thresh", Box::new(|m: u64| m.count_ones() >= 5)),
+            ("stripe", Box::new(|m: u64| m % 3 == 0)),
+        ],
+    );
+    let s = synthesize(&truth).unwrap();
+    let serial = SweepConfig::new().with_workers(1).with_shard_size(1);
+    let racy = SweepConfig::new().with_workers(8).with_shard_size(3);
+    s.netlist.verify(&truth, &serial).expect("serial");
+    s.netlist.verify(&truth, &racy).expect("8 workers, shard size 3");
+}

@@ -49,14 +49,9 @@ fn main() {
     for mode in
         [DriverMode::NonInverting, DriverMode::Inverting, DriverMode::OpenCircuit, DriverMode::Pass]
     {
-        let o0 = drv.eval_logic(false, mode).unwrap();
-        let o1 = drv.eval_logic(true, mode).unwrap();
-        let fmt = |o: Option<bool>| match o {
-            Some(true) => "1",
-            Some(false) => "0",
-            None => "Z",
-        };
-        println!("  {mode:?}: in=0 -> {}, in=1 -> {}", fmt(o0), fmt(o1));
+        let o0 = drv.eval_logic(false, mode);
+        let o1 = drv.eval_logic(true, mode);
+        println!("  {mode:?}: in=0 -> {o0}, in=1 -> {o1}");
     }
 
     // ----------------------------------------- Fig. 6: RTD-RAM cell

@@ -11,7 +11,8 @@
 # allocation-free steady state, the bitsim/ group's ≥10× bit-parallel
 # speedup over the scalar levelized sweep and its partial-word lane
 # masking for the kernel; bit-identity, the core-scaled sharded-vs-flat
-# speedup floor, and the hierarchical PnR's thread bit-identity and
+# speedup floor, the polymorphic synthesis proof sweeps' thread
+# bit-identity, and the hierarchical PnR's thread bit-identity and
 # ≥1.2× search speedup over the flat flow for the sweeps; the ≥5×
 # content-addressed cache-hit speedup and clean drain for the serve
 # suite).
@@ -76,6 +77,7 @@ cargo run -q -p pmorph-bench --bin benchcheck -- "$SWEEPS_OUT" \
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
     sweeps/e19_faults/sharded sweeps/fig10_adder/sharded \
     sweeps/seq_pipeline/sharded \
+    sweeps/poly_synth/synth sweeps/poly_synth/verify \
     sweeps/pnr_hier/hier sweeps/pnr_hier/flat
 
 echo "== validate $SERVE_OUT =="

@@ -66,6 +66,15 @@ for t in 1 8; do
         --test pnr_differential --test pnr_properties
 done
 
+echo "== polymorphic synthesis suite (thread matrix) =="
+# Bi-decomposed circuits must prove every mode personality by exhaustive
+# sharded sweeps with bit-identical recovered masks at 1 and 8 workers,
+# and the completeness checker must agree with its brute-force oracle.
+for t in 1 8; do
+    PMORPH_THREADS="$t" cargo test --release -q -p pmorph-synth \
+        --test poly_synthesis --test poly_complete_prop
+done
+
 echo "== sweep-engine bench smoke (short budget) =="
 # Same treatment for the sharded sweep suite: exercises the sharded vs
 # flat legs of E18/E19/fig10, the hier-vs-flat PnR search legs, the
@@ -77,6 +86,7 @@ cargo run -q -p pmorph-bench --bin benchcheck -- target/BENCH_sweeps.smoke.json 
     sweeps/e18_variation/sharded sweeps/e18_variation/flat \
     sweeps/e19_faults/sharded sweeps/fig10_adder/sharded \
     sweeps/seq_pipeline/sharded \
+    sweeps/poly_synth/synth sweeps/poly_synth/verify \
     sweeps/pnr_hier/hier sweeps/pnr_hier/flat
 
 echo "== job-server bench smoke (short budget) =="
